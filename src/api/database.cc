@@ -1,0 +1,219 @@
+#include "api/database.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "optimizer/dp_optimizer.h"
+
+namespace skinner {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSkinnerC: return "Skinner-C";
+    case EngineKind::kSkinnerG: return "Skinner-G";
+    case EngineKind::kSkinnerH: return "Skinner-H";
+    case EngineKind::kVolcano: return "Volcano";
+    case EngineKind::kBlock: return "Block";
+    case EngineKind::kRandomOrder: return "Random";
+    case EngineKind::kEddy: return "Eddy";
+    case EngineKind::kReopt: return "Reopt";
+  }
+  return "?";
+}
+
+Database::Database() = default;
+
+Status Database::Execute(const std::string& sql) {
+  SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      auto res = catalog_.CreateTable(stmt.create->name,
+                                      Schema(std::move(stmt.create->columns)));
+      if (!res.ok()) return res.status();
+      return Status::OK();
+    }
+    case Statement::Kind::kDropTable:
+      return catalog_.DropTable(stmt.drop->name);
+    case Statement::Kind::kInsert: {
+      Table* table = catalog_.FindTable(stmt.insert->table);
+      if (table == nullptr) {
+        return Status::NotFound("no such table: " + stmt.insert->table);
+      }
+      EvalContext ctx;  // literal expressions only: no tables needed
+      for (auto& row_exprs : stmt.insert->rows) {
+        std::vector<Value> row;
+        row.reserve(row_exprs.size());
+        for (auto& e : row_exprs) {
+          std::set<int> tables;
+          e->CollectTables(&tables);
+          if (e->kind == ExprKind::kColumnRef || !tables.empty()) {
+            return Status::InvalidArgument("INSERT values must be literals");
+          }
+          row.push_back(EvalExpr(*e, ctx));
+        }
+        SKINNER_RETURN_IF_ERROR(table->AppendRow(row));
+      }
+      return Status::OK();
+    }
+    case Statement::Kind::kSelect:
+      return Status::InvalidArgument("use Query() for SELECT statements");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::unique_ptr<BoundQuery>> Database::Bind(const std::string& sql) {
+  SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  auto bound = std::make_unique<BoundQuery>();
+  SKINNER_ASSIGN_OR_RETURN(*bound, BindSelect(stmt.select.get(), &catalog_, &udfs_));
+  return bound;
+}
+
+Result<QueryOutput> Database::Query(const std::string& sql,
+                                    const ExecOptions& opts) {
+  SKINNER_ASSIGN_OR_RETURN(auto bound, Bind(sql));
+  return RunSelect(*bound, opts);
+}
+
+Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
+  SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(query));
+  Estimator estimator(&stats_);
+  return OptimizeWithEstimates(info, query, &estimator);
+}
+
+Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
+                                        const ExecOptions& opts) {
+  Stopwatch watch;
+  QueryOutput out;
+  SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(query));
+
+  VirtualClock clock;
+  PrepareOptions popts;
+  popts.build_hash_indexes = opts.build_hash_indexes;
+  popts.parallel = opts.parallel_preprocess;
+  popts.num_threads = opts.num_threads;
+  SKINNER_ASSIGN_OR_RETURN(
+      auto pq, PreparedQuery::Prepare(&query, &info, catalog_.string_pool(),
+                                      &clock, popts));
+  out.stats.preprocess_cost = pq->preprocess_cost();
+
+  std::vector<PosTuple> join_result;
+  if (!pq->trivially_empty()) {
+    switch (opts.engine) {
+      case EngineKind::kSkinnerC:
+      case EngineKind::kRandomOrder: {
+        SkinnerCOptions so;
+        so.slice_budget = opts.slice_budget;
+        so.uct_weight = opts.uct_weight_c;
+        so.policy = opts.engine == EngineKind::kRandomOrder
+                        ? SelectionPolicy::kRandom
+                        : SelectionPolicy::kUct;
+        so.reward = opts.reward;
+        so.seed = opts.seed;
+        so.deadline = opts.deadline;
+        so.collect_trace = opts.collect_trace;
+        SkinnerCEngine engine(pq.get(), so);
+        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
+        const SkinnerCStats& s = engine.stats();
+        out.stats.slices = s.slices;
+        out.stats.intermediate_tuples = s.intermediate_tuples;
+        out.stats.uct_nodes = s.uct_nodes;
+        out.stats.progress_nodes = s.progress_nodes;
+        out.stats.auxiliary_bytes = s.auxiliary_bytes;
+        out.stats.timed_out = s.timed_out;
+        out.stats.join_order = s.final_order;
+        out.stats.tree_growth = s.tree_growth;
+        out.stats.order_selections = s.order_selections;
+        break;
+      }
+      case EngineKind::kSkinnerG: {
+        SkinnerGOptions so;
+        so.batches_per_table = opts.batches_per_table;
+        so.timeout_unit = opts.timeout_unit;
+        so.uct_weight = opts.uct_weight_g;
+        so.engine = opts.generic_engine;
+        so.seed = opts.seed;
+        so.deadline = opts.deadline;
+        SkinnerGEngine engine(pq.get(), so);
+        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
+        out.stats.timed_out = engine.stats().timed_out;
+        out.stats.iterations = engine.stats().iterations;
+        break;
+      }
+      case EngineKind::kSkinnerH: {
+        Estimator estimator(&stats_);
+        PlanResult plan = OptimizeWithEstimates(info, query, &estimator);
+        SkinnerHOptions so;
+        so.g.batches_per_table = opts.batches_per_table;
+        so.g.timeout_unit = opts.timeout_unit;
+        so.g.uct_weight = opts.uct_weight_g;
+        so.g.engine = opts.generic_engine;
+        so.g.seed = opts.seed;
+        so.g.deadline = opts.deadline;
+        so.unit = opts.timeout_unit;
+        so.deadline = opts.deadline;
+        SkinnerHEngine engine(pq.get(), plan.order, so);
+        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
+        out.stats.timed_out = engine.stats().timed_out;
+        out.stats.iterations = engine.stats().g_stats.iterations;
+        out.stats.join_order = plan.order;
+        out.stats.estimated_cost = plan.cost;
+        break;
+      }
+      case EngineKind::kVolcano:
+      case EngineKind::kBlock: {
+        std::vector<int> order = opts.forced_order;
+        if (order.empty()) {
+          Estimator estimator(&stats_);
+          PlanResult plan = OptimizeWithEstimates(info, query, &estimator);
+          order = plan.order;
+          out.stats.estimated_cost = plan.cost;
+        }
+        out.stats.join_order = order;
+        ForcedExecOptions fo;
+        fo.deadline = opts.deadline;
+        ForcedExecResult r;
+        if (opts.engine == EngineKind::kVolcano) {
+          r = ExecuteVolcano(*pq, order, fo, &join_result);
+        } else {
+          BlockExecOptions bo;
+          static_cast<ForcedExecOptions&>(bo) = fo;
+          r = ExecuteBlock(*pq, order, bo, &join_result);
+        }
+        out.stats.timed_out = !r.completed;
+        out.stats.intermediate_tuples = r.intermediate_tuples;
+        break;
+      }
+      case EngineKind::kEddy: {
+        EddyOptions eo;
+        eo.seed = opts.seed;
+        eo.deadline = opts.deadline;
+        EddyEngine engine(pq.get(), eo);
+        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
+        out.stats.timed_out = engine.stats().timed_out;
+        break;
+      }
+      case EngineKind::kReopt: {
+        Estimator estimator(&stats_);
+        ReoptOptions ro;
+        ro.deadline = opts.deadline;
+        ReoptEngine engine(pq.get(), &estimator, ro);
+        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
+        out.stats.timed_out = engine.stats().timed_out;
+        out.stats.replans = engine.stats().replans;
+        out.stats.join_order = engine.stats().executed_order;
+        break;
+      }
+    }
+  }
+
+  out.stats.join_result_tuples = join_result.size();
+  SKINNER_ASSIGN_OR_RETURN(out.result, PostProcess(*pq, join_result));
+  out.stats.total_cost = clock.now();
+  out.stats.wall_ms = watch.ElapsedMillis();
+  return out;
+}
+
+}  // namespace skinner

@@ -1,0 +1,134 @@
+#ifndef SKINNER_API_DATABASE_H_
+#define SKINNER_API_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/eddy.h"
+#include "baselines/reopt.h"
+#include "post/post_processor.h"
+#include "skinner/skinner_c.h"
+#include "skinner/skinner_g.h"
+#include "skinner/skinner_h.h"
+#include "sql/parser.h"
+#include "stats/estimator.h"
+
+namespace skinner {
+
+/// Query evaluation strategies available through the public API.
+enum class EngineKind {
+  kSkinnerC,      // paper Section 4.5: custom engine, in-query learning
+  kSkinnerG,      // paper Section 4.3: learning over a generic engine
+  kSkinnerH,      // paper Section 4.4: hybrid optimizer/learning
+  kVolcano,       // traditional engine + traditional DP optimizer
+  kBlock,         // materializing engine + traditional DP optimizer
+  kRandomOrder,   // Skinner-C machinery, random order selection (Table 5)
+  kEddy,          // adaptive per-tuple routing baseline
+  kReopt,         // mid-query re-optimization baseline
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Per-query execution options. Defaults match the paper's configuration.
+struct ExecOptions {
+  EngineKind engine = EngineKind::kSkinnerC;
+
+  // Skinner-C.
+  int64_t slice_budget = 500;        // b: loop iterations per time slice
+  double uct_weight_c = 1e-6;        // w for Skinner-C
+  RewardKind reward = RewardKind::kWeightedProgress;
+  bool collect_trace = false;
+
+  // Skinner-G / Skinner-H.
+  int batches_per_table = 10;
+  uint64_t timeout_unit = 2000;      // cost units of the smallest timeout
+  double uct_weight_g = 1.4142135623730951;  // w = sqrt(2)
+  GenericEngineKind generic_engine = GenericEngineKind::kVolcano;
+
+  // Pre-processing.
+  bool build_hash_indexes = true;
+  bool parallel_preprocess = false;
+  int num_threads = 4;
+
+  // Traditional engines: force this join order instead of optimizing
+  // (used to replay Skinner/optimal orders, paper Tables 3/4).
+  std::vector<int> forced_order;
+
+  uint64_t seed = 42;
+  /// Global virtual-clock deadline (units); censors runaway executions.
+  uint64_t deadline = UINT64_MAX;
+};
+
+/// Everything measured about one query execution.
+struct ExecutionStats {
+  double wall_ms = 0;
+  uint64_t total_cost = 0;       // virtual units: preprocessing + join
+  uint64_t preprocess_cost = 0;
+  uint64_t join_result_tuples = 0;
+  /// Accumulated intermediate result cardinality actually produced (the
+  /// engine-independent optimizer-quality metric of paper Tables 1/2).
+  uint64_t intermediate_tuples = 0;
+  bool timed_out = false;
+  std::vector<int> join_order;   // final (Skinner) or executed (others)
+
+  // Skinner-C specifics.
+  uint64_t slices = 0;
+  size_t uct_nodes = 0;
+  size_t progress_nodes = 0;
+  size_t auxiliary_bytes = 0;
+  std::vector<std::pair<uint64_t, size_t>> tree_growth;
+  std::map<std::vector<int>, uint64_t> order_selections;
+
+  // Baseline specifics.
+  int replans = 0;           // kReopt
+  uint64_t iterations = 0;   // kSkinnerG batch iterations
+  double estimated_cost = 0; // optimizer's estimate for its chosen plan
+};
+
+struct QueryOutput {
+  QueryResult result;
+  ExecutionStats stats;
+};
+
+/// The SkinnerDB database facade: owns catalog, string pool, UDF registry
+/// and statistics; parses SQL; routes SELECTs through the chosen engine.
+class Database {
+ public:
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  UdfRegistry* udfs() { return &udfs_; }
+  StatsManager* stats_manager() { return &stats_; }
+
+  /// Executes a DDL/DML statement (CREATE TABLE / INSERT / DROP TABLE).
+  Status Execute(const std::string& sql);
+
+  /// Executes a SELECT and returns rows plus execution statistics.
+  Result<QueryOutput> Query(const std::string& sql,
+                            const ExecOptions& opts = {});
+
+  /// Parses and binds a SELECT without running it (for benchmarks that
+  /// re-execute one query under many engines).
+  Result<std::unique_ptr<BoundQuery>> Bind(const std::string& sql);
+
+  /// Runs an already-bound SELECT.
+  Result<QueryOutput> RunSelect(const BoundQuery& query,
+                                const ExecOptions& opts = {});
+
+  /// The join order the traditional DP optimizer would pick (with its
+  /// estimated C_out cost); exposed for benchmarks and Skinner-H.
+  Result<PlanResult> OptimizerOrder(const BoundQuery& query);
+
+ private:
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  StatsManager stats_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_API_DATABASE_H_

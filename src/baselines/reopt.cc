@@ -1,0 +1,141 @@
+#include "baselines/reopt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skinner {
+
+ReoptEngine::ReoptEngine(const PreparedQuery* pq, Estimator* estimator,
+                         const ReoptOptions& opts)
+    : pq_(pq), estimator_(estimator), opts_(opts) {
+  const QueryInfo& info = pq->info();
+  const BoundQuery& query = pq->query();
+  const int m = info.num_tables();
+  table_cards_.resize(static_cast<size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    // Post-filter cardinalities are known exactly after pre-processing (a
+    // real system would know them too once the scans ran).
+    table_cards_[static_cast<size_t>(t)] =
+        std::max<double>(1.0, static_cast<double>(pq->cardinality(t)));
+    observed_[TableBit(t)] = static_cast<double>(pq->cardinality(t));
+  }
+  join_sels_.reserve(info.join_preds().size());
+  for (const PredInfo& p : info.join_preds()) {
+    join_sels_.push_back(estimator_->JoinSelectivity(query, p));
+  }
+}
+
+PlanResult ReoptEngine::Plan(TableSet fixed_prefix,
+                             const std::vector<int>& prefix_order) {
+  const QueryInfo& info = pq_->info();
+  auto card = [&](TableSet s) {
+    auto it = observed_.find(s);
+    if (it != observed_.end()) return std::max(it->second, 1.0);
+    return Estimator::JoinCardinality(s, info, table_cards_, join_sels_);
+  };
+  if (fixed_prefix == 0) return OptimizeLeftDeep(info, card);
+
+  // Re-plan the suffix only: greedy extension from the fixed prefix using
+  // corrected cardinalities (full DP with a prefix constraint would also
+  // work; greedy mirrors how mid-query re-optimizers patch plans).
+  PlanResult res;
+  res.order = prefix_order;
+  TableSet chosen = fixed_prefix;
+  double cost = 0;
+  while (static_cast<int>(res.order.size()) < info.num_tables()) {
+    std::vector<int> elig = info.EligibleTables(chosen);
+    double best = 1e300;
+    int best_t = elig.front();
+    for (int t : elig) {
+      double c = card(chosen | TableBit(t));
+      if (c < best) {
+        best = c;
+        best_t = t;
+      }
+    }
+    res.order.push_back(best_t);
+    chosen |= TableBit(best_t);
+    cost += best;
+  }
+  res.cost = cost;
+  return res;
+}
+
+Status ReoptEngine::Run(std::vector<PosTuple>* out) {
+  if (pq_->trivially_empty()) return Status::OK();
+  VirtualClock* clock = pq_->clock();
+  const QueryInfo& info = pq_->info();
+  const int m = info.num_tables();
+
+  std::vector<int> order = Plan(0, {}).order;
+  stats_.executed_order = order;
+
+  // Materialize the leftmost table.
+  std::vector<PosTuple> current;
+  {
+    int t0 = order[0];
+    int64_t card = pq_->cardinality(t0);
+    current.reserve(static_cast<size_t>(card));
+    for (int64_t p = 0; p < card; ++p) {
+      PosTuple tuple(static_cast<size_t>(m), -1);
+      tuple[static_cast<size_t>(t0)] = static_cast<int32_t>(p);
+      current.push_back(std::move(tuple));
+      clock->Tick();
+    }
+  }
+  TableSet done = TableBit(order[0]);
+
+  int d = 1;
+  while (d < m) {
+    if (clock->now() >= opts_.deadline) {
+      stats_.timed_out = true;
+      return Status::OK();
+    }
+    // Execute the join at position d of the current order.
+    JoinCursor cursor(pq_, BuildJoinSteps(*pq_, order));
+    int t = order[static_cast<size_t>(d)];
+    std::vector<PosTuple> next;
+    for (const PosTuple& tuple : current) {
+      for (int e = 0; e < d; ++e) {
+        cursor.Bind(e, tuple[static_cast<size_t>(order[static_cast<size_t>(e)])]);
+      }
+      for (int64_t p = cursor.FirstCandidate(d, 0); p >= 0;
+           p = cursor.NextCandidate(d, p)) {
+        clock->Tick();
+        cursor.Bind(d, p);
+        if (!cursor.Check(d)) continue;
+        PosTuple ext = tuple;
+        ext[static_cast<size_t>(t)] = static_cast<int32_t>(p);
+        next.push_back(std::move(ext));
+        clock->Tick();
+      }
+      if (clock->now() >= opts_.deadline) {
+        stats_.timed_out = true;
+        return Status::OK();
+      }
+    }
+    current = std::move(next);
+    done |= TableBit(t);
+    observed_[done] = static_cast<double>(current.size());
+    ++d;
+    if (current.empty()) break;
+
+    // Validate the estimate for the prefix just materialized.
+    double estimated =
+        Estimator::JoinCardinality(done, info, table_cards_, join_sels_);
+    double actual = std::max<double>(1.0, static_cast<double>(current.size()));
+    double ratio = estimated > actual ? estimated / actual : actual / estimated;
+    if (ratio > opts_.threshold && d < m) {
+      // Re-optimize the remaining joins with observed cardinalities pinned.
+      std::vector<int> prefix(order.begin(), order.begin() + d);
+      order = Plan(done, prefix).order;
+      stats_.executed_order = order;
+      ++stats_.replans;
+    }
+  }
+
+  for (auto& tuple : current) out->push_back(std::move(tuple));
+  return Status::OK();
+}
+
+}  // namespace skinner

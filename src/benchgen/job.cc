@@ -1,0 +1,440 @@
+#include "benchgen/job.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace skinner {
+namespace bench {
+
+namespace {
+
+Result<Table*> MakeTable(Database* db, const char* name,
+                         std::vector<ColumnDef> cols) {
+  db->catalog()->DropTable(name);
+  auto res = db->catalog()->CreateTable(name, Schema(std::move(cols)));
+  if (!res.ok()) return res.status();
+  return res.value();
+}
+
+const char* kGenres[8] = {"action", "drama",  "comedy",   "thriller",
+                          "sci-fi", "horror", "romance", "documentary"};
+const char* kKinds[7] = {"movie",      "tv series", "video movie", "episode",
+                         "video game", "short",     "tv movie"};
+const char* kCountries[6] = {"[us]", "[gb]", "[de]", "[fr]", "[in]", "[jp]"};
+
+}  // namespace
+
+Status GenerateJob(Database* db, const JobSpec& spec) {
+  Rng rng(spec.seed);
+  StringPool* pool = db->catalog()->string_pool();
+  const int64_t n_title = spec.num_titles;
+  const int64_t n_person = n_title;
+  const int64_t n_company = std::max<int64_t>(20, n_title / 10);
+  const int64_t n_keyword = std::max<int64_t>(30, n_title / 20);
+
+  // kind_type / info_type -------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "kind_type",
+                                       {{"id", DataType::kInt64},
+                                        {"kind", DataType::kString}}));
+    for (int i = 0; i < 7; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(kKinds[i], pool);
+      t->CommitRow();
+    }
+  }
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "info_type",
+                                       {{"id", DataType::kInt64},
+                                        {"info", DataType::kString}}));
+    const char* kInfoTypes[5] = {"genre", "rating", "budget", "runtime",
+                                 "language"};
+    for (int i = 0; i < 5; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(kInfoTypes[i], pool);
+      t->CommitRow();
+    }
+  }
+  // keyword ----------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "keyword",
+                                       {{"id", DataType::kInt64},
+                                        {"keyword", DataType::kString}}));
+    for (int64_t i = 0; i < n_keyword; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      // Keyword 0 is the correlation anchor.
+      std::string kw = i == 0 ? "blockbuster"
+                              : StrFormat("kw_%lld", static_cast<long long>(i));
+      t->mutable_column(1)->AppendString(kw, pool);
+      t->CommitRow();
+    }
+  }
+  // company_name -------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "company_name",
+                                       {{"id", DataType::kInt64},
+                                        {"name", DataType::kString},
+                                        {"country_code", DataType::kString}}));
+    for (int64_t i = 0; i < n_company; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(
+          StrFormat("Studio %lld", static_cast<long long>(i)), pool);
+      // Correlation trap: the Zipf *head* studios (who produce most of the
+      // movie_companies rows) are all US. A 1/ndv estimate for
+      // country_code = '[us]' thinks the filter keeps ~1/6 of the join
+      // edges; in truth it keeps most of them, so plans that defer the
+      // truly selective predicates behind this one explode.
+      const char* cc = i < std::max<int64_t>(2, n_company / 10)
+                           ? "[us]"
+                           : kCountries[1 + rng.Uniform(5)];
+      t->mutable_column(2)->AppendString(cc, pool);
+      t->CommitRow();
+    }
+  }
+  // name ----------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "name",
+                                       {{"id", DataType::kInt64},
+                                        {"name", DataType::kString},
+                                        {"gender", DataType::kString},
+                                        {"surname", DataType::kString}}));
+    for (int64_t i = 0; i < n_person; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(
+          StrFormat("Person %lld", static_cast<long long>(i)), pool);
+      t->mutable_column(2)->AppendString(rng.Bernoulli(0.45) ? "f" : "m", pool);
+      // The catastrophic-plan trap (how real JOB breaks optimizers): the
+      // surname column has ~1000 distinct values, so `surname = 'Smith'`
+      // estimates as hyper-selective (1/ndv). But the low person ids — the
+      // Zipf head that supplies most cast_info rows — are *all* Smiths, so
+      // the filter actually keeps the densest part of the join graph.
+      // Plans that enter through name/cast_info believing the estimate pay
+      // orders of magnitude more than plans entering elsewhere.
+      const char* surname = i < n_person / 5
+                                ? "Smith"
+                                : nullptr;
+      if (surname != nullptr) {
+        t->mutable_column(3)->AppendString(surname, pool);
+      } else {
+        t->mutable_column(3)->AppendString(
+            StrFormat("Sur%lld", static_cast<long long>(i % 997)), pool);
+      }
+      t->CommitRow();
+    }
+  }
+  // title --------------------------------------------------------------
+  // Correlations: 'blockbuster' titles (2%) are kind 'movie', year >= 2000,
+  // genre 'action'. Remember which titles are blockbusters.
+  std::vector<bool> is_blockbuster(static_cast<size_t>(n_title), false);
+  std::vector<int> title_year(static_cast<size_t>(n_title), 0);
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "title",
+                                       {{"id", DataType::kInt64},
+                                        {"kind_id", DataType::kInt64},
+                                        {"production_year", DataType::kInt64}}));
+    for (int64_t i = 0; i < n_title; ++i) {
+      bool bb = rng.Bernoulli(0.02);
+      is_blockbuster[static_cast<size_t>(i)] = bb;
+      int year;
+      int kind;
+      if (bb) {
+        year = 2000 + static_cast<int>(rng.Uniform(20));
+        kind = 0;  // movie
+      } else {
+        // Skew towards recent years; kind correlated with year.
+        year = 1920 + static_cast<int>(99.0 * (1.0 - rng.NextDouble() * rng.NextDouble()));
+        kind = year > 1990 ? static_cast<int>(rng.Uniform(7))
+                           : static_cast<int>(rng.Uniform(3));
+      }
+      title_year[static_cast<size_t>(i)] = year;
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendInt(kind);
+      t->mutable_column(2)->AppendInt(year);
+      t->CommitRow();
+    }
+  }
+  // movie_keyword -------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "movie_keyword",
+                                       {{"movie_id", DataType::kInt64},
+                                        {"keyword_id", DataType::kInt64}}));
+    for (int64_t i = 0; i < n_title; ++i) {
+      int links = 1 + static_cast<int>(rng.Uniform(4));
+      for (int l = 0; l < links; ++l) {
+        int64_t kw = static_cast<int64_t>(
+            rng.Zipf(static_cast<uint64_t>(n_keyword - 1), 0.8)) + 1;
+        t->mutable_column(0)->AppendInt(i);
+        t->mutable_column(1)->AppendInt(kw);
+        t->CommitRow();
+      }
+      if (is_blockbuster[static_cast<size_t>(i)]) {
+        t->mutable_column(0)->AppendInt(i);
+        t->mutable_column(1)->AppendInt(0);  // 'blockbuster'
+        t->CommitRow();
+      }
+    }
+  }
+  // movie_info ------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "movie_info",
+                                       {{"movie_id", DataType::kInt64},
+                                        {"info_type_id", DataType::kInt64},
+                                        {"info", DataType::kString}}));
+    for (int64_t i = 0; i < n_title; ++i) {
+      // genre row (info_type 0): correlated with blockbuster flag.
+      const char* genre = is_blockbuster[static_cast<size_t>(i)]
+                              ? (rng.Bernoulli(0.85) ? "action" : "thriller")
+                              : kGenres[rng.Uniform(8)];
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendInt(0);
+      t->mutable_column(2)->AppendString(genre, pool);
+      t->CommitRow();
+      // rating row (info_type 1).
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendInt(1);
+      t->mutable_column(2)->AppendString(
+          StrFormat("%d.%d", 1 + static_cast<int>(rng.Uniform(9)),
+                    static_cast<int>(rng.Uniform(10))),
+          pool);
+      t->CommitRow();
+      // budget row (info_type 2), present for half the titles.
+      if (rng.Bernoulli(0.5)) {
+        t->mutable_column(0)->AppendInt(i);
+        t->mutable_column(1)->AppendInt(2);
+        t->mutable_column(2)->AppendString(
+            is_blockbuster[static_cast<size_t>(i)] ? "high" : "low", pool);
+        t->CommitRow();
+      }
+    }
+  }
+  // movie_companies ---------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "movie_companies",
+                                       {{"movie_id", DataType::kInt64},
+                                        {"company_id", DataType::kInt64},
+                                        {"company_type_id", DataType::kInt64}}));
+    for (int64_t i = 0; i < n_title; ++i) {
+      int links = 1 + static_cast<int>(rng.Uniform(3));
+      for (int l = 0; l < links; ++l) {
+        // Zipf: big studios make most movies — and blockbusters come from
+        // the biggest studios only.
+        uint64_t c = is_blockbuster[static_cast<size_t>(i)]
+                         ? rng.Uniform(std::max<uint64_t>(1, static_cast<uint64_t>(n_company) / 20))
+                         : rng.Zipf(static_cast<uint64_t>(n_company), 0.7);
+        t->mutable_column(0)->AppendInt(i);
+        t->mutable_column(1)->AppendInt(static_cast<int64_t>(c));
+        t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(2)));
+        t->CommitRow();
+      }
+    }
+  }
+  // cast_info ------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(Table * t,
+                             MakeTable(db, "cast_info",
+                                       {{"movie_id", DataType::kInt64},
+                                        {"person_id", DataType::kInt64},
+                                        {"role_id", DataType::kInt64}}));
+    for (int64_t i = 0; i < n_title; ++i) {
+      // Blockbusters have big casts: the skew that makes self-join style
+      // co-star queries explode for orders that join cast_info too early.
+      int cast = is_blockbuster[static_cast<size_t>(i)]
+                     ? 20 + static_cast<int>(rng.Uniform(30))
+                     : 2 + static_cast<int>(rng.Uniform(6));
+      for (int l = 0; l < cast; ++l) {
+        t->mutable_column(0)->AppendInt(i);
+        t->mutable_column(1)->AppendInt(static_cast<int64_t>(
+            rng.Zipf(static_cast<uint64_t>(n_person), 0.6)));
+        t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(10)));
+        t->CommitRow();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+JobWorkload JobQueries() {
+  JobWorkload w;
+  auto add = [&](const std::string& name, const std::string& sql) {
+    w.names.push_back(name);
+    w.queries.push_back(sql);
+  };
+
+  // Family 1 (4 tables): keyword-filtered titles per kind.
+  const std::tuple<const char*, const char*, int> kF1[] = {
+      {"a", "kw_1", 1990}, {"b", "kw_5", 2000}, {"c", "kw_17", 1950}};
+  for (const auto& [v, kw, yr] : kF1) {
+    add(StrFormat("q01%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, "
+                  "kind_type kt WHERE t.id = mk.movie_id AND mk.keyword_id = "
+                  "k.id AND t.kind_id = kt.id AND k.keyword = '%s' AND "
+                  "t.production_year > %d",
+                  kw, yr));
+  }
+  // Family 2 (5 tables): production companies by country.
+  const std::tuple<const char*, const char*, int> kF2[] = {
+      {"a", "[us]", 2005}, {"b", "[de]", 1990}, {"c", "[jp]", 2000}};
+  for (const auto& [v, cc, yr] : kF2) {
+    add(StrFormat("q02%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_companies mc, "
+                  "company_name cn, movie_keyword mk, keyword k WHERE "
+                  "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "cn.country_code = '%s' AND t.production_year > %d",
+                  cc, yr));
+  }
+  // Family 3 (5 tables): the planted correlation trio — keyword
+  // 'blockbuster' x genre 'action' x recent year. Estimators multiply the
+  // three selectivities; in the data they nearly coincide.
+  const std::tuple<const char*, const char*> kF3[] = {
+      {"a", "action"}, {"b", "thriller"}, {"c", "drama"}};
+  for (const auto& [v, genre] : kF3) {
+    add(StrFormat("q03%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, "
+                  "movie_info mi, info_type it WHERE t.id = mk.movie_id AND "
+                  "mk.keyword_id = k.id AND t.id = mi.movie_id AND "
+                  "mi.info_type_id = it.id AND k.keyword = 'blockbuster' AND "
+                  "it.info = 'genre' AND mi.info = '%s' AND "
+                  "t.production_year > 2000",
+                  genre));
+  }
+  // Family 4 (6 tables): companies of correlated blockbusters.
+  const std::tuple<const char*, const char*> kF4[] = {
+      {"a", "[us]"}, {"b", "[gb]"}, {"c", "[fr]"}};
+  for (const auto& [v, cc] : kF4) {
+    add(StrFormat("q04%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, "
+                  "movie_companies mc, company_name cn, kind_type kt WHERE "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+                  "t.kind_id = kt.id AND k.keyword = 'blockbuster' AND "
+                  "cn.country_code = '%s' AND kt.kind = 'movie'",
+                  cc));
+  }
+  // Family 5 (7 tables): co-star pairs on blockbusters — the catastrophic
+  // family: joining the two cast_info aliases early explodes on big casts.
+  const std::tuple<const char*, const char*, const char*> kF5[] = {
+      {"a", "f", "m"}, {"b", "f", "f"}, {"c", "m", "m"}};
+  for (const auto& [v, g1, g2] : kF5) {
+    add(StrFormat("q05%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, cast_info ci1, cast_info ci2, "
+                  "name n1, name n2, movie_keyword mk, keyword k WHERE "
+                  "ci1.movie_id = t.id AND ci2.movie_id = t.id AND "
+                  "ci1.person_id = n1.id AND ci2.person_id = n2.id AND "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "k.keyword = 'blockbuster' AND n1.gender = '%s' AND "
+                  "n2.gender = '%s'",
+                  g1, g2));
+  }
+  // Family 6 (6 tables): info x company x kind.
+  const std::tuple<const char*, const char*> kF6[] = {
+      {"a", "high"}, {"b", "low"}, {"c", "high"}};
+  for (const auto& [v, info] : kF6) {
+    add(StrFormat("q06%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_info mi, info_type it, "
+                  "movie_companies mc, company_name cn, kind_type kt WHERE "
+                  "t.id = mi.movie_id AND mi.info_type_id = it.id AND "
+                  "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+                  "t.kind_id = kt.id AND it.info = 'budget' AND mi.info = '%s' "
+                  "AND cn.country_code = '[us]' AND t.production_year > %d",
+                  info, v[0] == 'c' ? 2010 : 1990));
+  }
+  // Family 7 (8 tables): casts of recent movies of big studios.
+  const std::tuple<const char*, int> kF7[] = {
+      {"a", 2010}, {"b", 2000}, {"c", 1995}};
+  for (const auto& [v, yr] : kF7) {
+    add(StrFormat("q07%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, cast_info ci, name n, "
+                  "movie_companies mc, company_name cn, movie_keyword mk, "
+                  "keyword k, kind_type kt WHERE t.id = ci.movie_id AND "
+                  "ci.person_id = n.id AND t.id = mc.movie_id AND "
+                  "mc.company_id = cn.id AND t.id = mk.movie_id AND "
+                  "mk.keyword_id = k.id AND t.kind_id = kt.id AND "
+                  "n.gender = 'f' AND cn.country_code = '[us]' AND "
+                  "t.production_year > %d AND kt.kind = 'movie'",
+                  yr));
+  }
+  // Family 8 (9 tables): info + keyword + cast.
+  const std::tuple<const char*, const char*> kF8[] = {
+      {"a", "action"}, {"b", "sci-fi"}, {"c", "horror"}};
+  for (const auto& [v, genre] : kF8) {
+    add(StrFormat("q08%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_info mi, info_type it, "
+                  "movie_keyword mk, keyword k, cast_info ci, name n, "
+                  "movie_companies mc, company_name cn WHERE "
+                  "t.id = mi.movie_id AND mi.info_type_id = it.id AND "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "t.id = ci.movie_id AND ci.person_id = n.id AND "
+                  "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+                  "it.info = 'genre' AND mi.info = '%s' AND "
+                  "k.keyword = 'blockbuster' AND cn.country_code = '[us]'",
+                  genre));
+  }
+  // Family 9 (10 tables): near-full schema.
+  const std::tuple<const char*, int> kF9[] = {
+      {"a", 2000}, {"b", 2010}, {"c", 1980}};
+  for (const auto& [v, yr] : kF9) {
+    add(StrFormat("q09%s", v),
+        StrFormat("SELECT COUNT(*) FROM title t, movie_info mi, info_type it, "
+                  "movie_keyword mk, keyword k, cast_info ci, name n, "
+                  "movie_companies mc, company_name cn, kind_type kt WHERE "
+                  "t.id = mi.movie_id AND mi.info_type_id = it.id AND "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "t.id = ci.movie_id AND ci.person_id = n.id AND "
+                  "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+                  "t.kind_id = kt.id AND it.info = 'rating' AND "
+                  "t.production_year > %d AND n.gender = 'f'",
+                  yr));
+  }
+  // Family 10 (5-6 tables): aggregation-flavored (MIN/MAX like real JOB).
+  add("q10a",
+      "SELECT MIN(t.production_year), MAX(t.production_year) FROM title t, "
+      "movie_keyword mk, keyword k, movie_companies mc, company_name cn "
+      "WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+      "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+      "k.keyword = 'blockbuster' AND cn.country_code = '[us]'");
+  add("q10b",
+      "SELECT MIN(t.production_year) FROM title t, movie_info mi, "
+      "info_type it, movie_companies mc, company_name cn WHERE "
+      "t.id = mi.movie_id AND mi.info_type_id = it.id AND t.id = mc.movie_id "
+      "AND mc.company_id = cn.id AND it.info = 'budget' AND mi.info = 'high' "
+      "AND cn.country_code = '[gb]'");
+  add("q10c",
+      "SELECT COUNT(*) FROM title t, cast_info ci1, cast_info ci2, "
+      "movie_keyword mk, keyword k WHERE ci1.movie_id = t.id AND "
+      "ci2.movie_id = t.id AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND k.keyword = 'blockbuster' AND ci1.role_id = 0 AND ci2.role_id = 1");
+  // Family 11 (6-7 tables): the catastrophic family. The surname filter
+  // estimates as the most selective entry point by far (1/~1000), but the
+  // matching persons supply most cast_info rows; a far better entry exists
+  // through the keyword/company filters. Estimator-driven plans explode
+  // here exactly like the two killer queries of the real JOB (Figure 6).
+  for (auto [v, kw] : std::initializer_list<std::pair<const char*, const char*>>{
+           {"a", "blockbuster"}, {"b", "kw_3"}, {"c", "kw_9"}}) {
+    add(StrFormat("q11%s", v),
+        StrFormat("SELECT COUNT(*) FROM name n, cast_info ci, "
+                  "cast_info ci2, title t, movie_keyword mk, keyword k, "
+                  "kind_type kt WHERE ci.person_id = n.id AND "
+                  "ci.movie_id = t.id AND ci2.movie_id = t.id AND "
+                  "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+                  "t.kind_id = kt.id AND n.surname = 'Smith' AND "
+                  "k.keyword = '%s'",
+                  kw));
+  }
+  return w;
+}
+
+}  // namespace bench
+}  // namespace skinner

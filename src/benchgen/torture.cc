@@ -1,0 +1,184 @@
+#include "benchgen/torture.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace skinner {
+namespace bench {
+
+namespace {
+
+/// Fills one torture table. Columns: id, k1, k2 (join keys), all INT.
+/// Each key column has its own domain size, base offset (the "good" join
+/// uses disjoint bases) and Zipf skew: the first `domain` rows cover the
+/// domain once (stable distinct counts for the estimator), the remaining
+/// rows are skewed. A large domain with heavy skew is the estimator trap:
+/// 1/ndv looks tiny while the true fan-out is huge.
+Result<Table*> MakeTortureTable(Database* db, const std::string& name,
+                                int64_t rows, int64_t k1_domain,
+                                int64_t k1_base, double k1_skew,
+                                int64_t k2_domain, int64_t k2_base,
+                                double k2_skew, Rng* rng) {
+  Schema schema({{"id", DataType::kInt64},
+                 {"k1", DataType::kInt64},
+                 {"k2", DataType::kInt64}});
+  auto res = db->catalog()->CreateTable(name, std::move(schema));
+  if (!res.ok()) return res.status();
+  Table* table = res.value();
+  for (int64_t i = 0; i < rows; ++i) {
+    table->mutable_column(0)->AppendInt(i);
+    int64_t v1 = i < k1_domain
+                     ? i
+                     : static_cast<int64_t>(
+                           rng->Zipf(static_cast<uint64_t>(k1_domain), k1_skew));
+    int64_t v2 = i < k2_domain
+                     ? i
+                     : static_cast<int64_t>(
+                           rng->Zipf(static_cast<uint64_t>(k2_domain), k2_skew));
+    table->mutable_column(1)->AppendInt(k1_base + v1);
+    table->mutable_column(2)->AppendInt(k2_base + v2);
+    table->CommitRow();
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<TortureInstance> GenerateTorture(Database* db,
+                                        const TortureSpec& spec) {
+  TortureInstance out;
+  Rng rng(spec.seed);
+  const int m = spec.num_tables;
+  const int64_t n = spec.rows_per_table;
+  std::string prefix = StrFormat("tort%llu",
+                                 static_cast<unsigned long long>(spec.seed));
+
+  // Key design for the correlated mode (the estimator trap): the "bad"
+  // joins use a large domain (n/2 distinct values => estimated selectivity
+  // 2/n looks great) with heavy Zipf skew (true fan-out explodes); the
+  // "good" join uses a smaller domain (n/4 => estimated selectivity looks
+  // *worse* than the bad joins) with disjoint key bases (true result:
+  // empty). An ndv-based optimizer therefore actively defers the one join
+  // it should execute first.
+  const int64_t bad_domain = std::max<int64_t>(4, n / 2);
+  const double bad_skew = 0.95;
+  const int64_t good_domain = std::max<int64_t>(4, n / 4);
+
+  // The "good" join connects chain positions good_position and
+  // good_position+1 (star: center and spoke good_position+1); we shift the
+  // key base of one side so the ranges are disjoint.
+  for (int k = 0; k < m; ++k) {
+    std::string name = StrFormat("%s_%d", prefix.c_str(), k);
+    int64_t k1_domain = n;
+    int64_t k2_domain = n;
+    int64_t k1_base = 0;
+    int64_t k2_base = 0;
+    double k1_skew = 0;
+    double k2_skew = 0;
+    if (spec.mode == TortureMode::kCorrelated) {
+      k1_domain = bad_domain;
+      k2_domain = bad_domain;
+      k1_skew = bad_skew;
+      k2_skew = bad_skew;
+      if (spec.shape == TortureShape::kChain) {
+        if (k == spec.good_position) {  // left side of the good join
+          k2_domain = good_domain;
+          k2_base = n * 4;
+        }
+        if (k == spec.good_position + 1) {  // right side of the good join
+          k1_domain = good_domain;
+        }
+      } else {
+        if (k == spec.good_position + 1) {  // the good spoke
+          k1_domain = good_domain;
+          k1_base = n * 4;
+        }
+      }
+    }
+    auto t = MakeTortureTable(db, name, n, k1_domain, k1_base, k1_skew,
+                              k2_domain, k2_base, k2_skew, &rng);
+    if (!t.ok()) return t.status();
+    out.table_names.push_back(name);
+  }
+
+  // Predicates.
+  std::vector<std::string> conjuncts;
+  auto edge = [&](int k) -> std::pair<int, int> {
+    if (spec.shape == TortureShape::kChain) return {k, k + 1};
+    return {0, k + 1};  // star: center joins each spoke
+  };
+
+  switch (spec.mode) {
+    case TortureMode::kUdf: {
+      const int64_t period = std::max<int64_t>(1, n / std::max<int64_t>(1, spec.bad_fanout));
+      for (int k = 0; k < m - 1; ++k) {
+        std::string fn = StrFormat("%s_j%d", prefix.c_str(), k);
+        bool good = (k == spec.good_position);
+        Udf::Fn body;
+        if (good) {
+          // The good predicate: never satisfied => empty join result.
+          body = [](const std::vector<Value>&) { return Value::Bool(false); };
+        } else {
+          // Bad predicate: for a fixed left tuple, matches `bad_fanout`
+          // right tuples (congruent key classes).
+          body = [period](const std::vector<Value>& args) {
+            if (args[0].is_null() || args[1].is_null()) return Value::Bool(false);
+            return Value::Bool(args[0].AsInt() % period ==
+                               args[1].AsInt() % period);
+          };
+        }
+        Status st = db->udfs()->Register(fn, 2, DataType::kInt64, std::move(body));
+        if (!st.ok()) return st;
+        out.udf_names.push_back(fn);
+        auto [a, b] = edge(k);
+        conjuncts.push_back(StrFormat("%s(t%d.k1, t%d.k1)", fn.c_str(), a, b));
+      }
+      break;
+    }
+    case TortureMode::kCorrelated: {
+      for (int k = 0; k < m - 1; ++k) {
+        auto [a, b] = edge(k);
+        conjuncts.push_back(StrFormat("t%d.k2 = t%d.k1", a, b));
+      }
+      break;
+    }
+    case TortureMode::kTrivial: {
+      // UDF-wrapped equality on unique keys: all orders equivalent, no
+      // index, opaque to the optimizer (paper Figure 12).
+      std::string fn = prefix + "_eq";
+      Status st = db->udfs()->Register(
+          fn, 2, DataType::kInt64, [](const std::vector<Value>& args) {
+            if (args[0].is_null() || args[1].is_null()) return Value::Bool(false);
+            return Value::Bool(args[0].AsInt() == args[1].AsInt());
+          });
+      if (!st.ok()) return st;
+      out.udf_names.push_back(fn);
+      for (int k = 0; k < m - 1; ++k) {
+        auto [a, b] = edge(k);
+        conjuncts.push_back(StrFormat("%s(t%d.id, t%d.id)", fn.c_str(), a, b));
+      }
+      break;
+    }
+  }
+
+  std::string sql = "SELECT COUNT(*) FROM ";
+  for (int k = 0; k < m; ++k) {
+    if (k > 0) sql += ", ";
+    sql += StrFormat("%s_%d t%d", prefix.c_str(), k, k);
+  }
+  sql += " WHERE " + Join(conjuncts, " AND ");
+  out.sql = std::move(sql);
+  return out;
+}
+
+void CleanupTorture(Database* db, const TortureInstance& instance) {
+  for (const std::string& t : instance.table_names) {
+    db->catalog()->DropTable(t);  // ignore status: cleanup is best-effort
+  }
+  for (const std::string& f : instance.udf_names) db->udfs()->Unregister(f);
+}
+
+}  // namespace bench
+}  // namespace skinner

@@ -1,0 +1,59 @@
+#ifndef SKINNER_BENCHGEN_TORTURE_H_
+#define SKINNER_BENCHGEN_TORTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace skinner {
+namespace bench {
+
+/// Join graph shape of a torture query.
+enum class TortureShape { kChain, kStar };
+
+/// Which optimizer blind spot the instance attacks (paper appendix):
+///  - kUdf ("UDF Torture"): every join predicate is a black-box UDF; one
+///    "good" predicate yields an empty join, the rest always match with a
+///    fixed fan-out. An optimizer that cannot see into UDFs has no signal.
+///  - kCorrelated ("Correlation Torture"): standard equality joins whose
+///    per-column statistics look identical, but skewed, correlated values
+///    make all joins explode except the "good" one, which is empty
+///    (disjoint key domains) — invisible to independence+uniformity
+///    estimators.
+///  - kTrivial ("Trivial Optimization"): all join orders avoiding
+///    Cartesian products are equivalent; measures pure learning overhead
+///    (paper Figure 12: UDF-wrapped equality predicates).
+enum class TortureMode { kUdf, kCorrelated, kTrivial };
+
+struct TortureSpec {
+  TortureShape shape = TortureShape::kChain;
+  TortureMode mode = TortureMode::kUdf;
+  int num_tables = 6;
+  int64_t rows_per_table = 100;
+  /// Index of the "good" join predicate along the chain/star (the paper's
+  /// parameter m, 0-based here). Ignored for kTrivial.
+  int good_position = 0;
+  /// Fan-out of the "bad" joins (kUdf: tuples matched per probe).
+  int64_t bad_fanout = 4;
+  uint64_t seed = 42;
+};
+
+struct TortureInstance {
+  std::string sql;
+  std::vector<std::string> table_names;  // for cleanup
+  std::vector<std::string> udf_names;    // registered UDFs (for cleanup)
+};
+
+/// Creates the tables (and UDFs) for one torture instance in `db` and
+/// returns the query. Table/UDF names embed the seed so multiple instances
+/// can coexist.
+Result<TortureInstance> GenerateTorture(Database* db, const TortureSpec& spec);
+
+/// Drops the instance's tables and UDFs.
+void CleanupTorture(Database* db, const TortureInstance& instance);
+
+}  // namespace bench
+}  // namespace skinner
+
+#endif  // SKINNER_BENCHGEN_TORTURE_H_

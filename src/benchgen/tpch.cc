@@ -1,0 +1,263 @@
+#include "benchgen/tpch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace skinner {
+namespace bench {
+
+namespace {
+
+// TPC-H vocabularies (subset of the spec's lists).
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "MACHINERY", "HOUSEHOLD"};
+const char* kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                            "LARGE", "ECONOMY", "PROMO"};
+const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                            "BRUSHED"};
+const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kColors[12] = {"almond", "antique", "aquamarine", "azure",
+                           "beige",  "bisque",  "black",      "blue",
+                           "green",  "ivory",   "lavender",   "magenta"};
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+}  // namespace
+
+std::string CivilDateString(int64_t days_since_epoch) {
+  int y = 1970;
+  int64_t d = days_since_epoch;
+  for (;;) {
+    int64_t len = IsLeap(y) ? 366 : 365;
+    if (d < len) break;
+    d -= len;
+    ++y;
+  }
+  static const int kMonthLen[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  int mth = 0;
+  for (; mth < 12; ++mth) {
+    int len = kMonthLen[mth] + (mth == 1 && IsLeap(y) ? 1 : 0);
+    if (d < len) break;
+    d -= len;
+  }
+  return StrFormat("%04d-%02d-%02d", y, mth + 1, static_cast<int>(d) + 1);
+}
+
+namespace {
+
+/// Days since epoch for 1992-01-01 (start of the TPC-H date range).
+constexpr int64_t kStartDate = 8035;  // 22 * 365 + leap days 1970..1991
+/// o_orderdate range spans 1992-01-01 .. 1998-08-02 per spec.
+constexpr int64_t kOrderDateRange = 2406 - 121;
+
+Result<Table*> MakeTable(Database* db, const char* name,
+                         std::vector<ColumnDef> cols) {
+  // Drop-if-exists so repeated generation in one process works.
+  db->catalog()->DropTable(name);
+  auto res = db->catalog()->CreateTable(name, Schema(std::move(cols)));
+  if (!res.ok()) return res.status();
+  return res.value();
+}
+
+}  // namespace
+
+Status GenerateTpch(Database* db, const TpchSpec& spec) {
+  Rng rng(spec.seed);
+  const double sf = spec.scale_factor;
+  const int64_t num_supplier = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  const int64_t num_customer = std::max<int64_t>(15, static_cast<int64_t>(150000 * sf));
+  const int64_t num_part = std::max<int64_t>(20, static_cast<int64_t>(200000 * sf));
+  const int64_t num_orders = std::max<int64_t>(150, static_cast<int64_t>(1500000 * sf));
+  StringPool* pool = db->catalog()->string_pool();
+
+  // region ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "region",
+                             {{"r_regionkey", DataType::kInt64},
+                              {"r_name", DataType::kString}}));
+    for (int i = 0; i < 5; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(kRegions[i], pool);
+      t->CommitRow();
+    }
+  }
+  // nation ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "nation",
+                             {{"n_nationkey", DataType::kInt64},
+                              {"n_name", DataType::kString},
+                              {"n_regionkey", DataType::kInt64}}));
+    for (int i = 0; i < 25; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(kNations[i].name, pool);
+      t->mutable_column(2)->AppendInt(kNations[i].region);
+      t->CommitRow();
+    }
+  }
+  // supplier ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "supplier",
+                             {{"s_suppkey", DataType::kInt64},
+                              {"s_name", DataType::kString},
+                              {"s_nationkey", DataType::kInt64},
+                              {"s_acctbal", DataType::kDouble}}));
+    for (int64_t i = 0; i < num_supplier; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(
+          StrFormat("Supplier#%09lld", static_cast<long long>(i)), pool);
+      t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(25)));
+      t->mutable_column(3)->AppendDouble(
+          -999.99 + rng.NextDouble() * (9999.99 + 999.99));
+      t->CommitRow();
+    }
+  }
+  // customer ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "customer",
+                             {{"c_custkey", DataType::kInt64},
+                              {"c_name", DataType::kString},
+                              {"c_nationkey", DataType::kInt64},
+                              {"c_mktsegment", DataType::kString}}));
+    for (int64_t i = 0; i < num_customer; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      t->mutable_column(1)->AppendString(
+          StrFormat("Customer#%09lld", static_cast<long long>(i)), pool);
+      t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(25)));
+      t->mutable_column(3)->AppendString(kSegments[rng.Uniform(5)], pool);
+      t->CommitRow();
+    }
+  }
+  // part ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "part",
+                             {{"p_partkey", DataType::kInt64},
+                              {"p_name", DataType::kString},
+                              {"p_mfgr", DataType::kString},
+                              {"p_type", DataType::kString},
+                              {"p_size", DataType::kInt64}}));
+    for (int64_t i = 0; i < num_part; ++i) {
+      t->mutable_column(0)->AppendInt(i);
+      std::string name = std::string(kColors[rng.Uniform(12)]) + " " +
+                         kColors[rng.Uniform(12)];
+      t->mutable_column(1)->AppendString(name, pool);
+      t->mutable_column(2)->AppendString(
+          StrFormat("Manufacturer#%d", static_cast<int>(rng.Uniform(5)) + 1),
+          pool);
+      std::string type = std::string(kTypeSyl1[rng.Uniform(6)]) + " " +
+                         kTypeSyl2[rng.Uniform(5)] + " " +
+                         kTypeSyl3[rng.Uniform(5)];
+      t->mutable_column(3)->AppendString(type, pool);
+      t->mutable_column(4)->AppendInt(static_cast<int64_t>(rng.Uniform(50)) + 1);
+      t->CommitRow();
+    }
+  }
+  // partsupp ---------------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * t, MakeTable(db, "partsupp",
+                             {{"ps_partkey", DataType::kInt64},
+                              {"ps_suppkey", DataType::kInt64},
+                              {"ps_availqty", DataType::kInt64},
+                              {"ps_supplycost", DataType::kDouble}}));
+    for (int64_t p = 0; p < num_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        t->mutable_column(0)->AppendInt(p);
+        t->mutable_column(1)->AppendInt(
+            (p + j * (num_supplier / 4 + 1)) % num_supplier);
+        t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(9999)) + 1);
+        t->mutable_column(3)->AppendDouble(1.0 + rng.NextDouble() * 999.0);
+        t->CommitRow();
+      }
+    }
+  }
+  // orders + lineitem ------------------------------------------------------
+  {
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * orders, MakeTable(db, "orders",
+                                  {{"o_orderkey", DataType::kInt64},
+                                   {"o_custkey", DataType::kInt64},
+                                   {"o_orderstatus", DataType::kString},
+                                   {"o_totalprice", DataType::kDouble},
+                                   {"o_orderdate", DataType::kString},
+                                   {"o_shippriority", DataType::kInt64}}));
+    SKINNER_ASSIGN_OR_RETURN(
+        Table * li, MakeTable(db, "lineitem",
+                              {{"l_orderkey", DataType::kInt64},
+                               {"l_partkey", DataType::kInt64},
+                               {"l_suppkey", DataType::kInt64},
+                               {"l_quantity", DataType::kDouble},
+                               {"l_extendedprice", DataType::kDouble},
+                               {"l_discount", DataType::kDouble},
+                               {"l_returnflag", DataType::kString},
+                               {"l_shipdate", DataType::kString},
+                               {"l_commitdate", DataType::kString},
+                               {"l_receiptdate", DataType::kString}}));
+    for (int64_t o = 0; o < num_orders; ++o) {
+      int64_t odate = kStartDate + static_cast<int64_t>(rng.Uniform(kOrderDateRange));
+      int num_lines = 1 + static_cast<int>(rng.Uniform(7));
+      double total = 0;
+      for (int l = 0; l < num_lines; ++l) {
+        double qty = 1 + static_cast<double>(rng.Uniform(50));
+        double price = qty * (900.0 + rng.NextDouble() * 200.0);
+        double discount = rng.NextDouble() * 0.10;
+        int64_t sdate = odate + 1 + static_cast<int64_t>(rng.Uniform(121));
+        int64_t cdate = odate + 30 + static_cast<int64_t>(rng.Uniform(61));
+        int64_t rdate = sdate + 1 + static_cast<int64_t>(rng.Uniform(30));
+        li->mutable_column(0)->AppendInt(o);
+        li->mutable_column(1)->AppendInt(static_cast<int64_t>(rng.Uniform(
+            static_cast<uint64_t>(num_part))));
+        li->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(
+            static_cast<uint64_t>(num_supplier))));
+        li->mutable_column(3)->AppendDouble(qty);
+        li->mutable_column(4)->AppendDouble(price);
+        li->mutable_column(5)->AppendDouble(discount);
+        const char* flag = rdate > kStartDate + 1578
+                               ? "N"
+                               : (rng.Bernoulli(0.5) ? "R" : "A");
+        li->mutable_column(6)->AppendString(flag, pool);
+        li->mutable_column(7)->AppendString(CivilDateString(sdate), pool);
+        li->mutable_column(8)->AppendString(CivilDateString(cdate), pool);
+        li->mutable_column(9)->AppendString(CivilDateString(rdate), pool);
+        li->CommitRow();
+        total += price * (1 - discount);
+      }
+      orders->mutable_column(0)->AppendInt(o);
+      orders->mutable_column(1)->AppendInt(static_cast<int64_t>(rng.Uniform(
+          static_cast<uint64_t>(num_customer))));
+      orders->mutable_column(2)->AppendString(
+          odate + 121 < kStartDate + 1578 ? "F" : "O", pool);
+      orders->mutable_column(3)->AppendDouble(total);
+      orders->mutable_column(4)->AppendString(CivilDateString(odate), pool);
+      orders->mutable_column(5)->AppendInt(0);
+      orders->CommitRow();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace skinner

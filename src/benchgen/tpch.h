@@ -1,0 +1,30 @@
+#ifndef SKINNER_BENCHGEN_TPCH_H_
+#define SKINNER_BENCHGEN_TPCH_H_
+
+#include <string>
+
+#include "api/database.h"
+
+namespace skinner {
+namespace bench {
+
+/// Scale knobs for the built-in TPC-H data generator (a from-scratch
+/// dbgen-alike: standard schema subset, uniform value distributions,
+/// spec-style name/type vocabularies). SF 1.0 would be the official 6M-row
+/// lineitem; benchmarks here run at SF 0.01-0.05.
+struct TpchSpec {
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+};
+
+/// Creates and populates region, nation, supplier, customer, part,
+/// partsupp, orders and lineitem in `db`.
+Status GenerateTpch(Database* db, const TpchSpec& spec);
+
+/// Days since 1970-01-01 -> "YYYY-MM-DD". Exposed for tests.
+std::string CivilDateString(int64_t days_since_epoch);
+
+}  // namespace bench
+}  // namespace skinner
+
+#endif  // SKINNER_BENCHGEN_TPCH_H_

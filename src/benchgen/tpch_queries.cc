@@ -1,0 +1,228 @@
+#include "benchgen/tpch_queries.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+namespace bench {
+
+std::vector<TpchQuery> TpchQueries() {
+  return {
+      {"Q2",
+       "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr "
+       "FROM part, supplier, partsupp, nation, region "
+       "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+       "AND p_size = 15 AND p_type LIKE '%BRASS' "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'EUROPE' ORDER BY s_acctbal DESC LIMIT 100"},
+      {"Q3",
+       "SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND o_orderdate < '1995-03-15' "
+       "AND l_shipdate > '1995-03-15' "
+       "GROUP BY o_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY 2 DESC LIMIT 10"},
+      {"Q5",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'ASIA' AND o_orderdate >= '1994-01-01' "
+       "AND o_orderdate < '1995-01-01' GROUP BY n_name ORDER BY 2 DESC"},
+      {"Q7",
+       "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+       "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+       "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+       "AND c_nationkey = n2.n_nationkey "
+       "AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+       "OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+       "AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31' "
+       "GROUP BY n1.n_name, n2.n_name ORDER BY 1, 2"},
+      {"Q8",
+       "SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS volume "
+       "FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, "
+       "region WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+       "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+       "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+       "AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey "
+       "AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' "
+       "AND p_type = 'ECONOMY ANODIZED STEEL' "
+       "GROUP BY o_orderdate ORDER BY 1"},
+      {"Q9",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - "
+       "ps_supplycost * l_quantity) AS profit "
+       "FROM part, supplier, lineitem, partsupp, orders, nation "
+       "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+       "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+       "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+       "AND p_name LIKE '%green%' GROUP BY n_name ORDER BY 1"},
+      {"Q10",
+       "SELECT c_custkey, c_name, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue, n_name "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01' "
+       "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, n_name ORDER BY 3 DESC LIMIT 20"},
+      {"Q11",
+       "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS v "
+       "FROM partsupp, supplier, nation "
+       "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+       "AND n_name = 'GERMANY' GROUP BY ps_partkey ORDER BY 2 DESC LIMIT 100"},
+      {"Q18",
+       "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+       "SUM(l_quantity) AS total_qty "
+       "FROM customer, orders, lineitem "
+       "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+       "AND o_totalprice > 300000 "
+       "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+       "ORDER BY 5 DESC LIMIT 100"},
+      {"Q21",
+       "SELECT s_name, COUNT(*) AS numwait "
+       "FROM supplier, lineitem l1, orders, nation "
+       "WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey "
+       "AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate "
+       "AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA' "
+       "GROUP BY s_name ORDER BY 2 DESC LIMIT 100"},
+  };
+}
+
+Status RegisterTpchUdfs(Database* db) {
+  auto reg = [&](const char* name, int arity, Udf::Fn fn) {
+    db->udfs()->Unregister(name);
+    return db->udfs()->Register(name, arity, DataType::kInt64, std::move(fn));
+  };
+  SKINNER_RETURN_IF_ERROR(reg("udf_eqs", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsString() == a[1].AsString());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_lts", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsString() < a[1].AsString());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_gts", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsString() > a[1].AsString());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_ges", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsString() >= a[1].AsString());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_btw", 3, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null() || a[2].is_null()) {
+      return Value::Bool(false);
+    }
+    return Value::Bool(a[0].AsString() >= a[1].AsString() &&
+                       a[0].AsString() <= a[2].AsString());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_lik", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(LikeMatch(a[0].AsString(), a[1].AsString()));
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_eqi", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsDouble() == a[1].AsDouble());
+  }));
+  SKINNER_RETURN_IF_ERROR(reg("udf_gti", 2, [](const std::vector<Value>& a) {
+    if (a[0].is_null() || a[1].is_null()) return Value::Bool(false);
+    return Value::Bool(a[0].AsDouble() > a[1].AsDouble());
+  }));
+  return Status::OK();
+}
+
+std::vector<TpchQuery> TpchUdfQueries() {
+  // Same queries with every unary predicate replaced by its opaque wrapper.
+  return {
+      {"Q2u",
+       "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr "
+       "FROM part, supplier, partsupp, nation, region "
+       "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+       "AND udf_eqi(p_size, 15) AND udf_lik(p_type, '%BRASS') "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND udf_eqs(r_name, 'EUROPE') ORDER BY s_acctbal DESC LIMIT 100"},
+      {"Q3u",
+       "SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE udf_eqs(c_mktsegment, 'BUILDING') AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND udf_lts(o_orderdate, '1995-03-15') "
+       "AND udf_gts(l_shipdate, '1995-03-15') "
+       "GROUP BY o_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY 2 DESC LIMIT 10"},
+      {"Q5u",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND udf_eqs(r_name, 'ASIA') AND udf_ges(o_orderdate, '1994-01-01') "
+       "AND udf_lts(o_orderdate, '1995-01-01') GROUP BY n_name ORDER BY 2 DESC"},
+      {"Q7u",
+       "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+       "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+       "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+       "AND c_nationkey = n2.n_nationkey "
+       "AND ((udf_eqs(n1.n_name, 'FRANCE') AND udf_eqs(n2.n_name, 'GERMANY')) "
+       "OR (udf_eqs(n1.n_name, 'GERMANY') AND udf_eqs(n2.n_name, 'FRANCE'))) "
+       "AND udf_btw(l_shipdate, '1995-01-01', '1996-12-31') "
+       "GROUP BY n1.n_name, n2.n_name ORDER BY 1, 2"},
+      {"Q8u",
+       "SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS volume "
+       "FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, "
+       "region WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+       "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+       "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+       "AND udf_eqs(r_name, 'AMERICA') AND s_nationkey = n2.n_nationkey "
+       "AND udf_btw(o_orderdate, '1995-01-01', '1996-12-31') "
+       "AND udf_eqs(p_type, 'ECONOMY ANODIZED STEEL') "
+       "GROUP BY o_orderdate ORDER BY 1"},
+      {"Q9u",
+       "SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - "
+       "ps_supplycost * l_quantity) AS profit "
+       "FROM part, supplier, lineitem, partsupp, orders, nation "
+       "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+       "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+       "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+       "AND udf_lik(p_name, '%green%') GROUP BY n_name ORDER BY 1"},
+      {"Q10u",
+       "SELECT c_custkey, c_name, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue, n_name "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND udf_ges(o_orderdate, '1993-10-01') "
+       "AND udf_lts(o_orderdate, '1994-01-01') "
+       "AND udf_eqs(l_returnflag, 'R') AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, n_name ORDER BY 3 DESC LIMIT 20"},
+      {"Q11u",
+       "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS v "
+       "FROM partsupp, supplier, nation "
+       "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+       "AND udf_eqs(n_name, 'GERMANY') "
+       "GROUP BY ps_partkey ORDER BY 2 DESC LIMIT 100"},
+      {"Q18u",
+       "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+       "SUM(l_quantity) AS total_qty "
+       "FROM customer, orders, lineitem "
+       "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+       "AND udf_gti(o_totalprice, 300000) "
+       "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+       "ORDER BY 5 DESC LIMIT 100"},
+      {"Q21u",
+       "SELECT s_name, COUNT(*) AS numwait "
+       "FROM supplier, lineitem l1, orders, nation "
+       "WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey "
+       "AND udf_eqs(o_orderstatus, 'F') "
+       "AND l1.l_receiptdate > l1.l_commitdate "
+       "AND s_nationkey = n_nationkey AND udf_eqs(n_name, 'SAUDI ARABIA') "
+       "GROUP BY s_name ORDER BY 2 DESC LIMIT 100"},
+  };
+}
+
+}  // namespace bench
+}  // namespace skinner

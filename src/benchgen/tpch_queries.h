@@ -1,0 +1,37 @@
+#ifndef SKINNER_BENCHGEN_TPCH_QUERIES_H_
+#define SKINNER_BENCHGEN_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace skinner {
+namespace bench {
+
+struct TpchQuery {
+  std::string name;
+  std::string sql;
+};
+
+/// The ten TPC-H queries the paper evaluates (Q2, Q3, Q5, Q7, Q8, Q9, Q10,
+/// Q11, Q18, Q21), adapted to the engine's SPJ+aggregation dialect: the
+/// decorrelated/min-subquery parts are dropped while the join and filter
+/// structure — which is what exercises join ordering — is kept. Documented
+/// per query in DESIGN.md.
+std::vector<TpchQuery> TpchQueries();
+
+/// The paper's "TPC-H with UDFs" variant: every unary predicate is wrapped
+/// in a semantically equivalent but opaque user-defined function, which
+/// denies the optimizer any selectivity information (paper Figure 13
+/// bottom / Table 7). Requires RegisterTpchUdfs().
+std::vector<TpchQuery> TpchUdfQueries();
+
+/// Registers the opaque predicate wrappers (udf_eqs, udf_lts, udf_gts,
+/// udf_ges, udf_lik, udf_gtd, udf_btw, udf_eqi) used by TpchUdfQueries().
+Status RegisterTpchUdfs(Database* db);
+
+}  // namespace bench
+}  // namespace skinner
+
+#endif  // SKINNER_BENCHGEN_TPCH_QUERIES_H_

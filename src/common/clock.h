@@ -1,0 +1,44 @@
+#ifndef SKINNER_COMMON_CLOCK_H_
+#define SKINNER_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace skinner {
+
+/// Virtual clock measuring execution effort in deterministic cost units
+/// (one unit ~= one tuple touched / one predicate check). All engines tick
+/// this clock so that timeouts, time slices and reported "execution time"
+/// are reproducible regardless of host hardware. Benchmarks additionally
+/// report wall-clock time.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  void Tick(uint64_t units = 1) { now_ += units; }
+  uint64_t now() const { return now_; }
+  void Reset() { now_ = 0; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+/// Wall-clock stopwatch (milliseconds, double precision).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMillis() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_CLOCK_H_

@@ -1,0 +1,70 @@
+#ifndef SKINNER_COMMON_RNG_H_
+#define SKINNER_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace skinner {
+
+/// Deterministic xorshift128+ random number generator. Used everywhere in
+/// SkinnerDB instead of std::mt19937 so that workload generation, UCT
+/// tie-breaking and property tests are reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ^ 0x9E3779B97F4A7C15ull;
+    s1_ = seed * 0xBF58476D1CE4E5B9ull + 1;
+    // Warm up to decorrelate close seeds.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed integer in [0, n) with skew parameter theta in (0, 1).
+  /// Uses the approximate inverse-CDF method; adequate for workload skew.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+inline uint64_t Rng::Zipf(uint64_t n, double theta) {
+  // Approximate inverse CDF of a Zipf-like distribution (Gray et al. style).
+  // P(rank) ~ rank^-(theta). theta=0 is uniform; theta->1 is highly skewed.
+  if (n == 0) return 0;
+  double u = NextDouble();
+  double x = static_cast<double>(n) * (1.0 - theta);
+  // Map u through a power curve; clamp to range.
+  double r = static_cast<double>(n) * (u * u * (theta) + u * (1.0 - theta));
+  (void)x;
+  uint64_t v = static_cast<uint64_t>(r);
+  if (v >= n) v = n - 1;
+  return v;
+}
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace skinner {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kBindError: return "BindError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  s += ": ";
+  s += msg_;
+  return s;
+}
+
+}  // namespace skinner

@@ -1,0 +1,113 @@
+#ifndef SKINNER_COMMON_STATUS_H_
+#define SKINNER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace skinner {
+
+/// Error codes used across the SkinnerDB API. Following the Arrow/RocksDB
+/// idiom, fallible operations return Status (or Result<T>) instead of
+/// throwing exceptions across library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kIoError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Lightweight status object: either OK or a code plus a human-readable
+/// message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const Status& status() const { return std::get<Status>(var_); }
+  T& value() { return std::get<T>(var_); }
+  const T& value() const { return std::get<T>(var_); }
+  T&& MoveValue() { return std::move(std::get<T>(var_)); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define SKINNER_RETURN_IF_ERROR(expr)           \
+  do {                                          \
+    ::skinner::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define SKINNER_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define SKINNER_INTERNAL_CONCAT(a, b) SKINNER_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define SKINNER_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = var.MoveValue();
+
+#define SKINNER_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SKINNER_ASSIGN_OR_RETURN_IMPL(             \
+      SKINNER_INTERNAL_CONCAT(_skinner_res_, __LINE__), lhs, rexpr)
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_STATUS_H_

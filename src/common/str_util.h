@@ -1,0 +1,37 @@
+#ifndef SKINNER_COMMON_STR_UTIL_H_
+#define SKINNER_COMMON_STR_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skinner {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (SQL keywords / identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix` (case sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE pattern matching with % and _ wildcards.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_STR_UTIL_H_

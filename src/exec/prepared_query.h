@@ -1,0 +1,117 @@
+#ifndef SKINNER_EXEC_PREPARED_QUERY_H_
+#define SKINNER_EXEC_PREPARED_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "expr/eval.h"
+#include "query/query_info.h"
+#include "sql/binder.h"
+
+namespace skinner {
+
+/// Hash index over the *filtered positions* of one (table, column) pair:
+/// join key -> ascending list of positions. Built during pre-processing for
+/// every column that appears in an equality join predicate (paper 4.5:
+/// "we create hash tables on all columns subject to equality predicates").
+/// Sorted postings make Skinner-C's "jump to the next matching tuple index"
+/// a single binary search, so execution state stays a plain index vector.
+class HashIndex {
+ public:
+  void Add(uint64_t key, int32_t pos) { map_[key].push_back(pos); }
+
+  /// The ascending position list for `key` (nullptr if no match).
+  const std::vector<int32_t>* Find(uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<int32_t>> map_;
+};
+
+/// Join key of a cell, normalized so that any two equality-joinable columns
+/// produce comparable keys: numeric columns use the bit pattern of the
+/// value as double (int64->double is exact at our scales), strings use
+/// their dictionary code (the pool is database-wide).
+uint64_t JoinKeyOf(const Column& col, int64_t base_row);
+
+/// Options controlling pre-processing.
+struct PrepareOptions {
+  bool build_hash_indexes = true;
+  /// Filter tables on multiple threads (paper Table 2/6: SkinnerDB
+  /// parallelizes the pre-processing step only).
+  bool parallel = false;
+  int num_threads = 4;
+};
+
+/// Output of the pre-processor (paper Figure 2): per-table lists of base
+/// rows surviving the unary predicates, plus hash indexes on equi-join
+/// columns over those survivors. All engines execute in "position space":
+/// position p of table t refers to base row filtered_rows(t)[p].
+class PreparedQuery {
+ public:
+  static Result<std::unique_ptr<PreparedQuery>> Prepare(
+      const BoundQuery* query, const QueryInfo* info, const StringPool* pool,
+      VirtualClock* clock, const PrepareOptions& opts);
+
+  const BoundQuery& query() const { return *query_; }
+  const QueryInfo& info() const { return *info_; }
+  const StringPool& pool() const { return *pool_; }
+  VirtualClock* clock() const { return clock_; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table* table(int t) const { return tables_[static_cast<size_t>(t)]; }
+  const std::vector<const Table*>& tables() const { return tables_; }
+
+  /// True if a constant predicate is false or some table has no survivors:
+  /// the join result is empty without running any join.
+  bool trivially_empty() const { return trivially_empty_; }
+
+  const std::vector<int32_t>& filtered_rows(int t) const {
+    return filtered_[static_cast<size_t>(t)];
+  }
+  int64_t cardinality(int t) const {
+    return static_cast<int64_t>(filtered_[static_cast<size_t>(t)].size());
+  }
+  int32_t base_row(int t, int64_t pos) const {
+    return filtered_[static_cast<size_t>(t)][static_cast<size_t>(pos)];
+  }
+
+  /// Index over (table, column), or nullptr if none was built.
+  const HashIndex* index(int t, int col) const;
+
+  /// Virtual cost consumed by pre-processing (filter scans + index build).
+  uint64_t preprocess_cost() const { return preprocess_cost_; }
+
+  /// Evaluation context bound to `rows` (one base row id per table).
+  EvalContext MakeEvalContext(const int64_t* rows) const {
+    EvalContext ctx;
+    ctx.tables = &tables_;
+    ctx.pool = pool_;
+    ctx.rows = rows;
+    ctx.clock = clock_;
+    return ctx;
+  }
+
+ private:
+  PreparedQuery() = default;
+
+  const BoundQuery* query_ = nullptr;
+  const QueryInfo* info_ = nullptr;
+  const StringPool* pool_ = nullptr;
+  VirtualClock* clock_ = nullptr;
+  std::vector<const Table*> tables_;
+  std::vector<std::vector<int32_t>> filtered_;
+  std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes_;  // (t<<32)|col
+  bool trivially_empty_ = false;
+  uint64_t preprocess_cost_ = 0;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_EXEC_PREPARED_QUERY_H_

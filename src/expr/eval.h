@@ -1,0 +1,35 @@
+#ifndef SKINNER_EXPR_EVAL_H_
+#define SKINNER_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "expr/expr.h"
+#include "storage/string_pool.h"
+#include "storage/table.h"
+
+namespace skinner {
+
+/// Evaluation context: one current row id per FROM-list table. Engines set
+/// `rows[t]` to the *base-table* row id bound for table t before evaluating
+/// predicates; unbound tables must not be referenced by the expression.
+struct EvalContext {
+  const std::vector<const Table*>* tables = nullptr;
+  const StringPool* pool = nullptr;
+  const int64_t* rows = nullptr;  // length = tables->size()
+  VirtualClock* clock = nullptr;  // optional: ticks per UDF call
+};
+
+/// Interprets a bound expression with SQL semantics (three-valued logic for
+/// comparisons and AND/OR/NOT; NULL-propagating arithmetic). Aggregates are
+/// rejected — they are handled by the post-processor.
+Value EvalExpr(const Expr& e, const EvalContext& ctx);
+
+/// Convenience: evaluates a predicate; NULL counts as false.
+inline bool EvalPredicate(const Expr& e, const EvalContext& ctx) {
+  return EvalExpr(e, ctx).IsTrue();
+}
+
+}  // namespace skinner
+
+#endif  // SKINNER_EXPR_EVAL_H_

@@ -1,0 +1,174 @@
+#include "expr/expr.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_name = std::move(table);
+  e->column_name = std::move(col);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinaryOp;
+  e->bin_op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeUnary(UnOp op, std::unique_ptr<Expr> c) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnaryOp;
+  e->un_op = op;
+  e->children.push_back(std::move(c));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeFunc(std::string name,
+                                     std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeAgg(AggKind agg, std::unique_ptr<Expr> arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = agg;
+  if (arg) e->children.push_back(std::move(arg));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->table_name = table_name;
+  e->column_name = column_name;
+  e->table_idx = table_idx;
+  e->column_idx = column_idx;
+  e->literal = literal;
+  e->literal_pool_id = literal_pool_id;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->func_name = func_name;
+  e->udf = udf;
+  e->agg = agg;
+  e->out_type = out_type;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+void Expr::CollectTables(std::set<int>* out) const {
+  if (kind == ExprKind::kColumnRef && table_idx >= 0) out->insert(table_idx);
+  for (const auto& c : children) c->CollectTables(out);
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+namespace {
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+const char* AggName(AggKind a) {
+  switch (a) {
+    case AggKind::kCountStar: return "COUNT(*)";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kAvg: return "AVG";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      if (!table_name.empty()) return table_name + "." + column_name;
+      return column_name;
+    case ExprKind::kLiteral:
+      if (!literal.is_null() && literal.type() == DataType::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kBinaryOp:
+      return "(" + children[0]->ToString() + " " + BinOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnaryOp:
+      switch (un_op) {
+        case UnOp::kNot: return "(NOT " + children[0]->ToString() + ")";
+        case UnOp::kNeg: return "(-" + children[0]->ToString() + ")";
+        case UnOp::kIsNull: return "(" + children[0]->ToString() + " IS NULL)";
+        case UnOp::kIsNotNull:
+          return "(" + children[0]->ToString() + " IS NOT NULL)";
+      }
+      return "?";
+    case ExprKind::kFunctionCall: {
+      std::string s = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kAggregate: {
+      if (agg == AggKind::kCountStar) return "COUNT(*)";
+      std::string s = AggName(agg);
+      s += "(";
+      if (!children.empty()) s += children[0]->ToString();
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+void SplitConjuncts(Expr* e, std::vector<Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinaryOp && e->bin_op == BinOp::kAnd) {
+    SplitConjuncts(e->children[0].get(), out);
+    SplitConjuncts(e->children[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+}  // namespace skinner

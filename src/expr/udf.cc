@@ -1,0 +1,28 @@
+#include "expr/udf.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+Status UdfRegistry::Register(std::string name, int arity, DataType return_type,
+                             Udf::Fn fn, int cost_units) {
+  std::string key = ToLower(name);
+  if (udfs_.count(key) != 0) {
+    return Status::AlreadyExists("udf already registered: " + name);
+  }
+  udfs_.emplace(std::move(key),
+                std::make_unique<Udf>(std::move(name), arity, return_type,
+                                      std::move(fn), cost_units));
+  return Status::OK();
+}
+
+const Udf* UdfRegistry::Find(const std::string& name) const {
+  auto it = udfs_.find(ToLower(name));
+  return it == udfs_.end() ? nullptr : it->second.get();
+}
+
+void UdfRegistry::Unregister(const std::string& name) {
+  udfs_.erase(ToLower(name));
+}
+
+}  // namespace skinner

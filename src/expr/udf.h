@@ -1,0 +1,69 @@
+#ifndef SKINNER_EXPR_UDF_H_
+#define SKINNER_EXPR_UDF_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace skinner {
+
+/// A user-defined scalar function. UDFs are black boxes for the optimizer:
+/// the statistics module assigns them a default selectivity, which is
+/// exactly the blind spot the paper's UDF-torture benchmarks exploit
+/// (Figure 9, Figure 13 bottom).
+class Udf {
+ public:
+  using Fn = std::function<Value(const std::vector<Value>&)>;
+
+  Udf(std::string name, int arity, DataType return_type, Fn fn,
+      int cost_units = 1)
+      : name_(std::move(name)),
+        arity_(arity),
+        return_type_(return_type),
+        fn_(std::move(fn)),
+        cost_units_(cost_units) {}
+
+  const std::string& name() const { return name_; }
+  int arity() const { return arity_; }
+  DataType return_type() const { return return_type_; }
+  /// Virtual-clock cost charged per invocation (models expensive UDFs).
+  int cost_units() const { return cost_units_; }
+
+  Value Call(const std::vector<Value>& args) const { return fn_(args); }
+
+ private:
+  std::string name_;
+  int arity_;
+  DataType return_type_;
+  Fn fn_;
+  int cost_units_;
+};
+
+/// Name -> UDF map (case-insensitive) owned by the Database.
+class UdfRegistry {
+ public:
+  UdfRegistry() = default;
+  UdfRegistry(const UdfRegistry&) = delete;
+  UdfRegistry& operator=(const UdfRegistry&) = delete;
+
+  Status Register(std::string name, int arity, DataType return_type, Udf::Fn fn,
+                  int cost_units = 1);
+
+  /// Case-insensitive lookup; nullptr if absent.
+  const Udf* Find(const std::string& name) const;
+
+  /// Drops a UDF if present (used by workload generators to re-register).
+  void Unregister(const std::string& name);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Udf>> udfs_;  // lowercase
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_EXPR_UDF_H_

@@ -1,0 +1,114 @@
+#include "optimizer/dp_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skinner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PlanResult GreedyOrder(const QueryInfo& info, const SetCardFn& card) {
+  // Greedy: repeatedly append the eligible table minimizing the new prefix
+  // cardinality. Used beyond the DP size limit.
+  PlanResult res;
+  TableSet chosen = 0;
+  double cost = 0;
+  const int m = info.num_tables();
+  for (int step = 0; step < m; ++step) {
+    std::vector<int> elig = info.EligibleTables(chosen);
+    double best = kInf;
+    int best_t = elig.front();
+    for (int t : elig) {
+      double c = card(chosen | TableBit(t));
+      if (c < best) {
+        best = c;
+        best_t = t;
+      }
+    }
+    chosen |= TableBit(best_t);
+    res.order.push_back(best_t);
+    cost += best;
+  }
+  res.cost = cost;
+  return res;
+}
+
+}  // namespace
+
+PlanResult OptimizeLeftDeep(const QueryInfo& info, const SetCardFn& card) {
+  const int m = info.num_tables();
+  if (m == 0) return {};
+  if (m > 20) return GreedyOrder(info, card);
+
+  const size_t n_sets = static_cast<size_t>(1) << m;
+  std::vector<double> best_cost(n_sets, kInf);
+  std::vector<int8_t> last_table(n_sets, -1);
+  std::vector<double> set_card(n_sets, -1.0);
+
+  auto card_of = [&](TableSet s) {
+    if (set_card[s] < 0) set_card[s] = card(s);
+    return set_card[s];
+  };
+
+  for (int t = 0; t < m; ++t) {
+    TableSet s = TableBit(t);
+    best_cost[s] = card_of(s);
+    last_table[s] = static_cast<int8_t>(t);
+  }
+
+  // Enumerate subsets grouped by popcount by iterating all subsets in
+  // increasing numeric order — every strict subset of S is numerically
+  // smaller, so best_cost[S \ t] is final when S is processed.
+  for (TableSet s = 1; s < n_sets; ++s) {
+    if (best_cost[s] == kInf) continue;
+    std::vector<int> elig = info.EligibleTables(s);
+    for (int t : elig) {
+      TableSet next = s | TableBit(t);
+      if (next == s) continue;
+      double c = best_cost[s] + card_of(next);
+      if (c < best_cost[next]) {
+        best_cost[next] = c;
+        last_table[next] = static_cast<int8_t>(t);
+      }
+    }
+  }
+
+  TableSet full = (m == 32) ? ~static_cast<TableSet>(0) : (TableBit(m) - 1);
+  PlanResult res;
+  res.cost = best_cost[full];
+  if (last_table[full] < 0) {
+    // No connected construction found (should not happen given EligibleTables
+    // falls back to Cartesian products); fall back to greedy.
+    return GreedyOrder(info, card);
+  }
+  TableSet s = full;
+  while (s != 0) {
+    int t = last_table[s];
+    res.order.push_back(t);
+    s &= ~TableBit(t);
+  }
+  std::reverse(res.order.begin(), res.order.end());
+  return res;
+}
+
+PlanResult OptimizeWithEstimates(const QueryInfo& info, const BoundQuery& query,
+                                 Estimator* estimator) {
+  const int m = info.num_tables();
+  std::vector<double> table_cards(static_cast<size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    table_cards[static_cast<size_t>(t)] = estimator->FilteredCardinality(
+        *query.tables[static_cast<size_t>(t)].table, info.unary_preds(t));
+  }
+  std::vector<double> join_sels;
+  join_sels.reserve(info.join_preds().size());
+  for (const PredInfo& p : info.join_preds()) {
+    join_sels.push_back(estimator->JoinSelectivity(query, p));
+  }
+  return OptimizeLeftDeep(info, [&](TableSet s) {
+    return Estimator::JoinCardinality(s, info, table_cards, join_sels);
+  });
+}
+
+}  // namespace skinner

@@ -1,0 +1,37 @@
+#ifndef SKINNER_OPTIMIZER_DP_OPTIMIZER_H_
+#define SKINNER_OPTIMIZER_DP_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/query_info.h"
+#include "stats/estimator.h"
+
+namespace skinner {
+
+/// Cardinality of a table subset (estimated or exact, depending on who is
+/// asking). Infinity marks subsets that must not be used.
+using SetCardFn = std::function<double(TableSet)>;
+
+struct PlanResult {
+  std::vector<int> order;
+  double cost = 0;  // C_out: sum of (estimated) prefix cardinalities
+};
+
+/// Selinger-style dynamic programming over left-deep join orders with the
+/// C_out cost metric (sum of intermediate result sizes — the metric the
+/// paper uses for "optimal" join orders, citing Krishnamurthy et al.).
+/// Cartesian products are deferred exactly like the runtime enumerators:
+/// a table may extend a prefix only if it is connected to it, unless no
+/// remaining table is. Falls back to a greedy heuristic above 20 tables.
+PlanResult OptimizeLeftDeep(const QueryInfo& info, const SetCardFn& card);
+
+/// Convenience: builds the SetCardFn a traditional optimizer would use —
+/// estimated filtered cardinalities plus independence-based join
+/// selectivities — then optimizes.
+PlanResult OptimizeWithEstimates(const QueryInfo& info, const BoundQuery& query,
+                                 Estimator* estimator);
+
+}  // namespace skinner
+
+#endif  // SKINNER_OPTIMIZER_DP_OPTIMIZER_H_

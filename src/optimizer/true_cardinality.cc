@@ -1,0 +1,125 @@
+#include "optimizer/true_cardinality.h"
+
+#include <limits>
+
+namespace skinner {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TrueCardinalityOracle::TrueCardinalityOracle(const PreparedQuery* pq,
+                                             uint64_t row_limit)
+    : pq_(pq), row_limit_(row_limit) {}
+
+bool TrueCardinalityOracle::SubsetConnected(TableSet set) const {
+  if (set == 0) return true;
+  int first = -1;
+  for (int t = 0; t < pq_->num_tables(); ++t) {
+    if (Contains(set, t)) {
+      first = t;
+      break;
+    }
+  }
+  TableSet seen = TableBit(first);
+  for (;;) {
+    TableSet next = seen;
+    for (int t = 0; t < pq_->num_tables(); ++t) {
+      if (Contains(seen, t)) next |= pq_->info().adjacency(t) & set;
+    }
+    if (next == seen) break;
+    seen = next;
+  }
+  return seen == set;
+}
+
+const TrueCardinalityOracle::SubsetRows* TrueCardinalityOracle::Materialize(
+    TableSet set) {
+  auto it = cache_.find(set);
+  if (it != cache_.end()) return &it->second;
+
+  SubsetRows result;
+  const int m = pq_->num_tables();
+
+  // Singleton: all filtered positions.
+  int popcount = __builtin_popcount(set);
+  if (popcount == 1) {
+    int t = __builtin_ctz(set);
+    result.order = {t};
+    int64_t card = pq_->cardinality(t);
+    if (static_cast<uint64_t>(card) > row_limit_) {
+      result.overflow = true;
+    } else {
+      result.rows.reserve(static_cast<size_t>(card));
+      for (int64_t p = 0; p < card; ++p) {
+        PosTuple tuple(static_cast<size_t>(m), -1);
+        tuple[static_cast<size_t>(t)] = static_cast<int32_t>(p);
+        result.rows.push_back(std::move(tuple));
+      }
+    }
+    auto [pos, ok] = cache_.emplace(set, std::move(result));
+    return &pos->second;
+  }
+
+  // Pick a removable table t: set \ {t} stays connected if possible (so we
+  // extend an already-joinable subset); smallest base cardinality wins.
+  int pick = -1;
+  for (int t = 0; t < m; ++t) {
+    if (!Contains(set, t)) continue;
+    TableSet rest = set & ~TableBit(t);
+    if (!SubsetConnected(rest)) continue;
+    if (pick < 0 || pq_->cardinality(t) < pq_->cardinality(pick)) pick = t;
+  }
+  if (pick < 0) {
+    // Disconnected subset: every removal leaves it disconnected too; just
+    // take the lowest table (Cartesian extension).
+    pick = __builtin_ctz(set);
+  }
+  TableSet rest = set & ~TableBit(pick);
+  const SubsetRows* base = Materialize(rest);
+  if (base->overflow) {
+    result.overflow = true;
+    result.order = base->order;
+    result.order.push_back(pick);
+    auto [pos, ok] = cache_.emplace(set, std::move(result));
+    return &pos->second;
+  }
+
+  result.order = base->order;
+  result.order.push_back(pick);
+  const int depth = static_cast<int>(result.order.size()) - 1;
+  JoinCursor cursor(pq_, BuildJoinSteps(*pq_, result.order));
+  for (const PosTuple& tuple : base->rows) {
+    for (int d = 0; d < depth; ++d) {
+      cursor.Bind(d, tuple[static_cast<size_t>(result.order[static_cast<size_t>(d)])]);
+    }
+    for (int64_t p = cursor.FirstCandidate(depth, 0); p >= 0;
+         p = cursor.NextCandidate(depth, p)) {
+      cursor.Bind(depth, p);
+      if (!cursor.Check(depth)) continue;
+      PosTuple ext = tuple;
+      ext[static_cast<size_t>(pick)] = static_cast<int32_t>(p);
+      result.rows.push_back(std::move(ext));
+      if (result.rows.size() > row_limit_) {
+        result.rows.clear();
+        result.overflow = true;
+        break;
+      }
+    }
+    if (result.overflow) break;
+  }
+  auto [pos, ok] = cache_.emplace(set, std::move(result));
+  return &pos->second;
+}
+
+double TrueCardinalityOracle::Cardinality(TableSet set) {
+  const SubsetRows* rows = Materialize(set);
+  if (rows->overflow) return kInf;
+  return static_cast<double>(rows->rows.size());
+}
+
+PlanResult TrueCardinalityOracle::OptimalOrder() {
+  return OptimizeLeftDeep(pq_->info(), AsFn());
+}
+
+}  // namespace skinner

@@ -1,0 +1,85 @@
+#include "post/aggregates.h"
+
+#include <cstring>
+
+namespace skinner {
+
+void AggAccumulator::Add(const Value& v) {
+  if (kind_ == AggKind::kCountStar) {
+    ++count_;
+    return;
+  }
+  if (v.is_null()) return;
+  ++count_;
+  switch (kind_) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (v.type() == DataType::kDouble) any_double_ = true;
+      sum_d_ += v.AsDouble();
+      if (v.type() == DataType::kInt64) sum_i_ += v.AsInt();
+      break;
+    case AggKind::kMin:
+      if (!has_value_ || v.Compare(best_) < 0) best_ = v;
+      has_value_ = true;
+      break;
+    case AggKind::kMax:
+      if (!has_value_ || v.Compare(best_) > 0) best_ = v;
+      has_value_ = true;
+      break;
+    case AggKind::kCountStar:
+      break;
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int(count_);
+    case AggKind::kSum:
+      if (count_ == 0) return Value::Null();
+      return any_double_ ? Value::Double(sum_d_) : Value::Int(sum_i_);
+    case AggKind::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(sum_d_ / static_cast<double>(count_));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return has_value_ ? best_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+void SerializeValueKey(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back('\x00');
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kInt64: {
+      // Normalize numerics through double so 1 and 1.0 group together.
+      out->push_back('\x01');
+      double d = v.AsDouble();
+      char buf[sizeof(d)];
+      std::memcpy(buf, &d, sizeof(d));
+      out->append(buf, sizeof(d));
+      break;
+    }
+    case DataType::kDouble: {
+      out->push_back('\x01');
+      double d = v.AsDouble();
+      char buf[sizeof(d)];
+      std::memcpy(buf, &d, sizeof(d));
+      out->append(buf, sizeof(d));
+      break;
+    }
+    case DataType::kString:
+      out->push_back('\x02');
+      out->append(v.AsString());
+      break;
+  }
+  out->push_back('\x1f');
+}
+
+}  // namespace skinner

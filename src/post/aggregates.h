@@ -1,0 +1,40 @@
+#ifndef SKINNER_POST_AGGREGATES_H_
+#define SKINNER_POST_AGGREGATES_H_
+
+#include <string>
+
+#include "expr/expr.h"
+
+namespace skinner {
+
+/// Streaming accumulator for one aggregate function with SQL semantics:
+/// NULL inputs are ignored; SUM/MIN/MAX of an empty input are NULL;
+/// COUNT of an empty input is 0; AVG is SUM/COUNT as double.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggKind kind) : kind_(kind) {}
+
+  /// Feeds one input value. For COUNT(*) the value is ignored.
+  void Add(const Value& v);
+
+  /// The aggregate result over everything added so far.
+  Value Finish() const;
+
+ private:
+  AggKind kind_;
+  int64_t count_ = 0;        // non-null inputs (or all rows for COUNT(*))
+  double sum_d_ = 0;
+  int64_t sum_i_ = 0;
+  bool any_double_ = false;
+  bool has_value_ = false;
+  Value best_;               // running MIN/MAX
+};
+
+/// Serializes a value into `out` such that two values serialize equally iff
+/// they are SQL-equal within a type class; used for GROUP BY and DISTINCT
+/// hashing.
+void SerializeValueKey(const Value& v, std::string* out);
+
+}  // namespace skinner
+
+#endif  // SKINNER_POST_AGGREGATES_H_

@@ -1,0 +1,73 @@
+#ifndef SKINNER_SKINNER_PROGRESS_H_
+#define SKINNER_SKINNER_PROGRESS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace skinner {
+
+/// Suspended execution state of the multiway join for one join order
+/// (paper 4.5): the DFS depth plus the candidate position at every depth
+/// <= depth. Positions live in join-order space: pos[d] indexes the
+/// filtered rows of table order[d]. This tiny vector is the *entire*
+/// execution state — the property that makes join order switching cheap.
+struct JoinState {
+  int depth = 0;
+  std::vector<int64_t> pos;
+
+  bool operator==(const JoinState& o) const {
+    return depth == o.depth && pos == o.pos;
+  }
+};
+
+/// Progress store for all join orders tried so far (the paper's progress
+/// tracker, Figure 2). A trie over join-order prefixes; each node stores
+/// the lexicographically largest frontier reached for its prefix by *any*
+/// join order passing through it, which implements the paper's
+/// shared-prefix fast-forwarding: a join order can resume from the most
+/// advanced frontier of any order with the same prefix, because every
+/// prefix combination lexicographically before that frontier has been
+/// joined against all remaining tables already (suffix order irrelevant).
+class ProgressTree {
+ public:
+  explicit ProgressTree(int num_tables) : num_tables_(num_tables) {}
+
+  /// Records a suspended `state` for `order` (state.pos[0..depth] valid).
+  /// Updates the frontier of every prefix of `order` and the exact state
+  /// at the full-order node.
+  void Backup(const std::vector<int>& order, const JoinState& state);
+
+  /// Computes the most advanced resume state for `order`, considering the
+  /// exact stored state and all shared-prefix frontiers. Returns false if
+  /// nothing is stored (fresh start). On a frontier-based resume the
+  /// frontier combination itself is re-enumerated (its subtree was in
+  /// progress); the global result set deduplicates any re-emitted tuples.
+  bool Restore(const std::vector<int>& order, JoinState* state) const;
+
+  /// Number of trie nodes (paper Figure 8b).
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Node {
+    std::map<int, std::unique_ptr<Node>> children;
+    // Lex-max frontier for this prefix (length = prefix length).
+    std::vector<int64_t> frontier;
+    bool has_frontier = false;
+    // Exact suspended state; only set on full-order nodes.
+    JoinState exact;
+    bool has_exact = false;
+  };
+
+  static bool LexLess(const std::vector<int64_t>& a,
+                      const std::vector<int64_t>& b);
+
+  int num_tables_;
+  Node root_;
+  size_t num_nodes_ = 1;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_SKINNER_PROGRESS_H_

@@ -1,0 +1,238 @@
+#include "skinner/skinner_c.h"
+
+#include <algorithm>
+
+namespace skinner {
+
+namespace {
+UctOptions MakeUctOptions(const SkinnerCOptions& opts) {
+  UctOptions u;
+  u.explore_weight = opts.uct_weight;
+  u.policy = opts.policy;
+  u.seed = opts.seed;
+  return u;
+}
+}  // namespace
+
+SkinnerCEngine::SkinnerCEngine(const PreparedQuery* pq,
+                               const SkinnerCOptions& opts)
+    : pq_(pq),
+      opts_(opts),
+      uct_(&pq->info(), MakeUctOptions(opts)),
+      progress_(pq->num_tables()),
+      offset_(static_cast<size_t>(pq->num_tables()), 0) {}
+
+JoinCursor* SkinnerCEngine::CursorFor(const std::vector<int>& order) {
+  auto it = cursors_.find(order);
+  if (it != cursors_.end()) return it->second.get();
+  auto cursor = std::make_unique<JoinCursor>(pq_, BuildJoinSteps(*pq_, order));
+  JoinCursor* ptr = cursor.get();
+  cursors_.emplace(order, std::move(cursor));
+  return ptr;
+}
+
+JoinState SkinnerCEngine::RestoreState(const std::vector<int>& order,
+                                       JoinCursor* cursor) {
+  JoinState state;
+  state.pos.assign(order.size(), -1);
+  bool restored = progress_.Restore(order, &state);
+  if (!restored) {
+    state.depth = 0;
+    state.pos[0] = offset_[static_cast<size_t>(order[0])];
+    if (state.pos[0] >= pq_->cardinality(order[0])) state.pos[0] = -1;
+    return state;
+  }
+  // Fast-forward past offsets: tuples below offset[t] are fully joined
+  // already. Walk depths in order; at the first position that fell behind
+  // an advanced offset, re-derive the candidate and truncate the state.
+  for (int d = 0; d <= state.depth; ++d) {
+    int t = order[static_cast<size_t>(d)];
+    int64_t off = offset_[static_cast<size_t>(t)];
+    if (state.pos[static_cast<size_t>(d)] < off) {
+      state.pos[static_cast<size_t>(d)] = cursor->FirstCandidate(d, off);
+      state.depth = d;
+      break;
+    }
+    cursor->Bind(d, state.pos[static_cast<size_t>(d)]);
+  }
+  return state;
+}
+
+bool SkinnerCEngine::ContinueJoin(const std::vector<int>& order,
+                                  JoinCursor* cursor, JoinState* state,
+                                  int64_t budget) {
+  const int m = static_cast<int>(order.size());
+  VirtualClock* clock = pq_->clock();
+  int i = state->depth;
+  auto& pos = state->pos;
+  // Bind all prefix tables (positions < depth passed checks before
+  // suspension; depth's own candidate is tested in the loop).
+  for (int d = 0; d < i; ++d) cursor->Bind(d, pos[static_cast<size_t>(d)]);
+
+  PosTuple tuple(static_cast<size_t>(pq_->num_tables()), -1);
+  int64_t steps = 0;
+  bool done = false;
+  while (true) {
+    if (i < 0) {
+      done = true;
+      break;
+    }
+    if (steps >= budget) break;
+    ++steps;
+    clock->Tick();
+    int64_t p = pos[static_cast<size_t>(i)];
+    if (p < 0) {
+      // Exhausted at depth i: backtrack.
+      if (i == 0) {
+        // Leftmost exhausted: every tuple of order[0] fully joined.
+        offset_[static_cast<size_t>(order[0])] = pq_->cardinality(order[0]);
+        done = true;
+        i = -1;
+        break;
+      }
+      --i;
+      int64_t old = pos[static_cast<size_t>(i)];
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
+      if (i == 0) {
+        // Position `old` of the leftmost table is now fully processed.
+        offset_[static_cast<size_t>(order[0])] =
+            std::max(offset_[static_cast<size_t>(order[0])], old + 1);
+      }
+      continue;
+    }
+    cursor->Bind(i, p);
+    if (!cursor->Check(i)) {
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      continue;
+    }
+    ++stats_.intermediate_tuples;
+    if (i == m - 1) {
+      for (int d = 0; d < m; ++d) {
+        tuple[static_cast<size_t>(order[static_cast<size_t>(d)])] =
+            static_cast<int32_t>(pos[static_cast<size_t>(d)]);
+      }
+      result_.insert(tuple);
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      continue;
+    }
+    ++i;
+    pos[static_cast<size_t>(i)] = cursor->FirstCandidate(
+        i, offset_[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  if (!done) {
+    // Normalize the suspension point: resolve any pending backtracks so the
+    // stored state has a valid candidate at every depth (keeps progress
+    // frontiers meaningful).
+    while (i >= 0 && pos[static_cast<size_t>(i)] < 0) {
+      if (i == 0) {
+        offset_[static_cast<size_t>(order[0])] = pq_->cardinality(order[0]);
+        done = true;
+        i = -1;
+        break;
+      }
+      --i;
+      int64_t old = pos[static_cast<size_t>(i)];
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
+      if (i == 0) {
+        offset_[static_cast<size_t>(order[0])] =
+            std::max(offset_[static_cast<size_t>(order[0])], old + 1);
+      }
+    }
+  }
+  state->depth = std::max(i, 0);
+  return done;
+}
+
+double SkinnerCEngine::ProgressValue(const std::vector<int>& order,
+                                     const JoinState& state) const {
+  // Paper 4.5: sum of tuple index deltas, each scaled down by the product
+  // of the cardinalities of its table and all preceding tables. Computed
+  // here as an absolute potential; the reward is the per-slice increase.
+  double value = 0;
+  double scale = 1;
+  for (int d = 0; d <= state.depth; ++d) {
+    int64_t card = pq_->cardinality(order[static_cast<size_t>(d)]);
+    if (card == 0) return 1.0;
+    scale /= static_cast<double>(card);
+    int64_t p = state.pos[static_cast<size_t>(d)];
+    if (p < 0) p = 0;
+    value += static_cast<double>(p) * scale;
+  }
+  return value;
+}
+
+Status SkinnerCEngine::Run(std::vector<PosTuple>* out) {
+  if (pq_->trivially_empty()) {
+    stats_.final_order = uct_.BestOrder();
+    return Status::OK();
+  }
+  const int m = pq_->num_tables();
+  VirtualClock* clock = pq_->clock();
+
+  while (!finished_) {
+    if (clock->now() >= opts_.deadline) {
+      stats_.timed_out = true;
+      break;
+    }
+    // Any table fully consumed as a leftmost table => result complete.
+    for (int t = 0; t < m; ++t) {
+      if (offset_[static_cast<size_t>(t)] >= pq_->cardinality(t)) {
+        finished_ = true;
+      }
+    }
+    if (finished_) break;
+
+    std::vector<int> order = uct_.Choose();
+    JoinCursor* cursor = CursorFor(order);
+    JoinState state = RestoreState(order, cursor);
+    double before = 0;
+    if (opts_.reward == RewardKind::kWeightedProgress) {
+      before = ProgressValue(order, state);
+    } else {
+      before = state.pos[0] < 0
+                   ? 1.0
+                   : static_cast<double>(state.pos[0]) /
+                         static_cast<double>(std::max<int64_t>(
+                             pq_->cardinality(order[0]), 1));
+    }
+    bool done = ContinueJoin(order, cursor, &state, opts_.slice_budget);
+    double after;
+    if (done) {
+      after = 1.0;
+    } else if (opts_.reward == RewardKind::kWeightedProgress) {
+      after = ProgressValue(order, state);
+    } else {
+      after = state.pos[0] < 0
+                  ? 1.0
+                  : static_cast<double>(state.pos[0]) /
+                        static_cast<double>(std::max<int64_t>(
+                            pq_->cardinality(order[0]), 1));
+    }
+    double reward = std::clamp(after - before, 0.0, 1.0);
+    uct_.RewardUpdate(order, reward);
+    if (!done) progress_.Backup(order, state);
+    ++stats_.slices;
+    if (opts_.collect_trace) {
+      stats_.order_selections[order] += 1;
+      if (stats_.slices % 16 == 1) {
+        stats_.tree_growth.emplace_back(stats_.slices, uct_.num_nodes());
+      }
+    }
+    if (done) finished_ = true;
+  }
+
+  stats_.uct_nodes = uct_.num_nodes();
+  stats_.progress_nodes = progress_.num_nodes();
+  stats_.result_tuples = result_.size();
+  stats_.final_order = uct_.BestOrder();
+  stats_.auxiliary_bytes =
+      result_.size() * (sizeof(PosTuple) + sizeof(int32_t) * static_cast<size_t>(m)) +
+      stats_.progress_nodes * (sizeof(void*) * 4 + sizeof(int64_t) * static_cast<size_t>(m) / 2) +
+      stats_.uct_nodes * (sizeof(void*) * 4 + 24 * static_cast<size_t>(m) / 2);
+
+  out->reserve(out->size() + result_.size());
+  for (const PosTuple& t : result_) out->push_back(t);
+  return Status::OK();
+}
+
+}  // namespace skinner

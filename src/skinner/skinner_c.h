@@ -1,0 +1,105 @@
+#ifndef SKINNER_SKINNER_SKINNER_C_H_
+#define SKINNER_SKINNER_SKINNER_C_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash_util.h"
+#include "engine/volcano.h"
+#include "skinner/progress.h"
+#include "uct/uct.h"
+
+namespace skinner {
+
+/// Reward functions for Skinner-C time slices (paper 4.5).
+enum class RewardKind {
+  /// Sum over join-order positions of the position delta scaled by the
+  /// product of this and all preceding cardinalities (the paper's refined
+  /// reward; default in SkinnerDB).
+  kWeightedProgress,
+  /// Fraction of the leftmost table processed during the slice (the
+  /// simpler variant used in the formal analysis, Section 5.2).
+  kLeftmostFraction,
+};
+
+struct SkinnerCOptions {
+  /// Time slice budget b: outer-loop iterations of the multiway join per
+  /// slice (paper default 500).
+  int64_t slice_budget = 500;
+  /// UCT exploration weight (paper uses 1e-6 for Skinner-C, whose rewards
+  /// are small fractions).
+  double uct_weight = 1e-6;
+  SelectionPolicy policy = SelectionPolicy::kUct;
+  RewardKind reward = RewardKind::kWeightedProgress;
+  uint64_t seed = 42;
+  /// Absolute virtual-clock deadline; the run aborts past it (used by the
+  /// failure/disaster benchmarks to censor runaway baselines).
+  uint64_t deadline = UINT64_MAX;
+  /// Record per-slice convergence data (paper Figure 7); costs memory.
+  bool collect_trace = false;
+};
+
+struct SkinnerCStats {
+  uint64_t slices = 0;
+  size_t uct_nodes = 0;
+  size_t progress_nodes = 0;
+  uint64_t result_tuples = 0;
+  /// Accumulated intermediate tuples produced (C_out actually paid),
+  /// comparable to the traditional engines' counter (paper Tables 1/2).
+  uint64_t intermediate_tuples = 0;
+  bool timed_out = false;
+  std::vector<int> final_order;
+  /// Sampled (slice, materialized UCT nodes) pairs; trace only.
+  std::vector<std::pair<uint64_t, size_t>> tree_growth;
+  /// Slice count per distinct join order chosen; trace only.
+  std::map<std::vector<int>, uint64_t> order_selections;
+  /// Approximate bytes held in result set + progress tree + UCT tree.
+  size_t auxiliary_bytes = 0;
+};
+
+/// Skinner-C (paper Section 4.5, Algorithms 2+3): regret-bounded query
+/// evaluation on a customized engine. Executes the multiway depth-first
+/// join in small slices; a UCT policy picks the join order per slice;
+/// per-table tuple offsets plus a shared-prefix progress tree preserve and
+/// share progress across orders; rewards measure per-slice progress.
+class SkinnerCEngine {
+ public:
+  SkinnerCEngine(const PreparedQuery* pq, const SkinnerCOptions& opts);
+
+  /// Runs to completion (or deadline); appends result position tuples.
+  Status Run(std::vector<PosTuple>* out);
+
+  const SkinnerCStats& stats() const { return stats_; }
+
+ private:
+  /// Executes `order` from `state` until the slice budget is exhausted or
+  /// the leftmost table is exhausted. Returns true if the join finished.
+  bool ContinueJoin(const std::vector<int>& order, JoinCursor* cursor,
+                    JoinState* state, int64_t budget);
+
+  /// Resume state for `order`: stored progress fast-forwarded past the
+  /// current offsets, or a fresh start at offset[order[0]].
+  JoinState RestoreState(const std::vector<int>& order, JoinCursor* cursor);
+
+  double ProgressValue(const std::vector<int>& order,
+                       const JoinState& state) const;
+
+  JoinCursor* CursorFor(const std::vector<int>& order);
+
+  const PreparedQuery* pq_;
+  SkinnerCOptions opts_;
+  JoinOrderUct uct_;
+  ProgressTree progress_;
+  std::vector<int64_t> offset_;  // per table: first not-fully-joined position
+  std::unordered_set<PosTuple, VectorHash> result_;
+  std::map<std::vector<int>, std::unique_ptr<JoinCursor>> cursors_;
+  SkinnerCStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_SKINNER_SKINNER_C_H_

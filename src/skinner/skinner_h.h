@@ -1,0 +1,51 @@
+#ifndef SKINNER_SKINNER_SKINNER_H_H_
+#define SKINNER_SKINNER_SKINNER_H_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "skinner/skinner_g.h"
+
+namespace skinner {
+
+struct SkinnerHOptions {
+  SkinnerGOptions g;
+  /// Cost units of the first traditional-optimizer slice; doubles per
+  /// round (paper Section 4.4, Figure 4).
+  uint64_t unit = 2000;
+  uint64_t deadline = UINT64_MAX;
+};
+
+struct SkinnerHStats {
+  uint64_t optimizer_rounds = 0;
+  bool finished_by_optimizer = false;
+  bool timed_out = false;
+  SkinnerGStats g_stats;
+};
+
+/// Skinner-H (paper Section 4.4): alternates, with doubling timeouts,
+/// between executing the traditional optimizer's plan and running the
+/// Skinner-G learning loop; batches completed by the learning side are
+/// removed from the traditional side's input, so whichever side finishes
+/// first completes the query.
+class SkinnerHEngine {
+ public:
+  /// `optimizer_order` is the plan proposed by the traditional optimizer.
+  SkinnerHEngine(const PreparedQuery* pq, std::vector<int> optimizer_order,
+                 const SkinnerHOptions& opts);
+
+  Status Run(std::vector<PosTuple>* out);
+
+  const SkinnerHStats& stats() const { return stats_; }
+
+ private:
+  const PreparedQuery* pq_;
+  std::vector<int> optimizer_order_;
+  SkinnerHOptions opts_;
+  SkinnerGEngine learner_;
+  SkinnerHStats stats_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_SKINNER_SKINNER_H_H_

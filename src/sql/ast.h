@@ -1,0 +1,73 @@
+#ifndef SKINNER_SQL_AST_H_
+#define SKINNER_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/schema.h"
+
+namespace skinner {
+
+/// One FROM-list entry: base table plus optional alias.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // equals table_name if none given
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// One SELECT-list item.
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null iff is_star
+  std::string alias;           // output column name (may be synthesized)
+  bool is_star = false;
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+/// Parsed (not yet bound) SELECT statement. JOIN ... ON clauses are folded
+/// into `where` as conjuncts during parsing; only inner joins exist.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;  // may be null
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;  // literal exprs
+};
+
+struct DropTableStmt {
+  std::string name;
+};
+
+/// Any parsed SQL statement.
+struct Statement {
+  enum class Kind { kSelect, kCreateTable, kInsert, kDropTable };
+  Kind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DropTableStmt> drop;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_SQL_AST_H_

@@ -1,0 +1,294 @@
+#include "sql/binder.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+namespace {
+
+class Binder {
+ public:
+  Binder(Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  Result<BoundQuery> Bind(SelectStmt* stmt);
+
+ private:
+  Status BindExpr(Expr* e);
+  Status BindColumnRef(Expr* e);
+
+  Catalog* catalog_;
+  const UdfRegistry* udfs_;
+  BoundQuery out_;
+};
+
+Status Binder::BindColumnRef(Expr* e) {
+  if (!e->table_name.empty()) {
+    std::string want = ToLower(e->table_name);
+    for (size_t i = 0; i < out_.tables.size(); ++i) {
+      if (ToLower(out_.tables[i].alias) == want) {
+        int col = out_.tables[i].table->schema().FindColumn(e->column_name);
+        if (col < 0) {
+          return Status::BindError("no column " + e->column_name + " in " +
+                                   e->table_name);
+        }
+        e->table_idx = static_cast<int>(i);
+        e->column_idx = col;
+        e->out_type = out_.tables[i].table->schema().column(col).type;
+        return Status::OK();
+      }
+    }
+    return Status::BindError("unknown table alias: " + e->table_name);
+  }
+  // Unqualified: must be unique across FROM tables.
+  int found_table = -1;
+  int found_col = -1;
+  for (size_t i = 0; i < out_.tables.size(); ++i) {
+    int col = out_.tables[i].table->schema().FindColumn(e->column_name);
+    if (col >= 0) {
+      if (found_table >= 0) {
+        return Status::BindError("ambiguous column: " + e->column_name);
+      }
+      found_table = static_cast<int>(i);
+      found_col = col;
+    }
+  }
+  if (found_table < 0) {
+    return Status::BindError("unknown column: " + e->column_name);
+  }
+  e->table_idx = found_table;
+  e->column_idx = found_col;
+  e->out_type =
+      out_.tables[static_cast<size_t>(found_table)].table->schema().column(found_col).type;
+  return Status::OK();
+}
+
+Status Binder::BindExpr(Expr* e) {
+  for (auto& c : e->children) {
+    SKINNER_RETURN_IF_ERROR(BindExpr(c.get()));
+  }
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+      return BindColumnRef(e);
+    case ExprKind::kLiteral:
+      if (!e->literal.is_null()) {
+        e->out_type = e->literal.type();
+        if (e->literal.type() == DataType::kString) {
+          e->literal_pool_id = catalog_->string_pool()->Intern(e->literal.AsString());
+        }
+      }
+      return Status::OK();
+    case ExprKind::kBinaryOp: {
+      const Expr& l = *e->children[0];
+      const Expr& r = *e->children[1];
+      auto is_num = [](DataType t) { return t != DataType::kString; };
+      switch (e->bin_op) {
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        case BinOp::kLike:
+          if (l.out_type != DataType::kString || r.out_type != DataType::kString) {
+            return Status::TypeError("LIKE requires string operands");
+          }
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          bool l_str = l.out_type == DataType::kString;
+          bool r_str = r.out_type == DataType::kString;
+          // NULL literals compare with anything.
+          bool l_null = l.kind == ExprKind::kLiteral && l.literal.is_null();
+          bool r_null = r.kind == ExprKind::kLiteral && r.literal.is_null();
+          if (!l_null && !r_null && l_str != r_str) {
+            return Status::TypeError("cannot compare string with numeric: " +
+                                     e->ToString());
+          }
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        }
+        default:
+          if (!is_num(l.out_type) || !is_num(r.out_type)) {
+            return Status::TypeError("arithmetic requires numeric operands: " +
+                                     e->ToString());
+          }
+          e->out_type = (l.out_type == DataType::kDouble ||
+                         r.out_type == DataType::kDouble)
+                            ? DataType::kDouble
+                            : DataType::kInt64;
+          return Status::OK();
+      }
+    }
+    case ExprKind::kUnaryOp:
+      switch (e->un_op) {
+        case UnOp::kNeg:
+          if (e->children[0]->out_type == DataType::kString) {
+            return Status::TypeError("cannot negate a string");
+          }
+          e->out_type = e->children[0]->out_type;
+          return Status::OK();
+        default:
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+      }
+    case ExprKind::kFunctionCall: {
+      const Udf* udf = udfs_->Find(e->func_name);
+      if (udf == nullptr) {
+        return Status::BindError("unknown function: " + e->func_name);
+      }
+      if (udf->arity() >= 0 &&
+          udf->arity() != static_cast<int>(e->children.size())) {
+        return Status::BindError(
+            StrFormat("function %s expects %d args, got %zu",
+                      e->func_name.c_str(), udf->arity(), e->children.size()));
+      }
+      e->udf = udf;
+      e->out_type = udf->return_type();
+      return Status::OK();
+    }
+    case ExprKind::kAggregate:
+      switch (e->agg) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          e->out_type = DataType::kInt64;
+          break;
+        case AggKind::kAvg:
+          e->out_type = DataType::kDouble;
+          break;
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          e->out_type = e->children[0]->out_type;
+          break;
+      }
+      if (e->agg != AggKind::kCountStar &&
+          e->children[0]->ContainsAggregate()) {
+        return Status::BindError("nested aggregates are not allowed");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<BoundQuery> Binder::Bind(SelectStmt* stmt) {
+  // FROM.
+  for (const auto& ref : stmt->from) {
+    Table* t = catalog_->FindTable(ref.table_name);
+    if (t == nullptr) {
+      return Status::BindError("unknown table: " + ref.table_name);
+    }
+    std::string alias = ref.EffectiveName();
+    for (const auto& bt : out_.tables) {
+      if (ToLower(bt.alias) == ToLower(alias)) {
+        return Status::BindError("duplicate table alias: " + alias);
+      }
+    }
+    out_.tables.push_back(BoundTable{t, alias});
+  }
+  if (out_.tables.empty()) return Status::BindError("empty FROM list");
+
+  // WHERE.
+  if (stmt->where != nullptr) {
+    SKINNER_RETURN_IF_ERROR(BindExpr(stmt->where.get()));
+    if (stmt->where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    out_.where = std::move(stmt->where);
+  }
+
+  // SELECT list ('*' expands to every column of every table).
+  for (auto& item : stmt->select) {
+    if (item.is_star) {
+      for (size_t t = 0; t < out_.tables.size(); ++t) {
+        const Table* tab = out_.tables[t].table;
+        for (int c = 0; c < tab->schema().num_columns(); ++c) {
+          BoundSelectItem out_item;
+          out_item.expr = Expr::MakeColumn(out_.tables[t].alias,
+                                           tab->schema().column(c).name);
+          SKINNER_RETURN_IF_ERROR(BindExpr(out_item.expr.get()));
+          out_item.name = out_.tables.size() > 1
+                              ? out_.tables[t].alias + "." + tab->schema().column(c).name
+                              : tab->schema().column(c).name;
+          out_.select.push_back(std::move(out_item));
+        }
+      }
+      continue;
+    }
+    SKINNER_RETURN_IF_ERROR(BindExpr(item.expr.get()));
+    BoundSelectItem out_item;
+    out_item.expr = std::move(item.expr);
+    out_item.name = item.alias;
+    out_.has_aggregates |= out_item.expr->ContainsAggregate();
+    out_.select.push_back(std::move(out_item));
+  }
+
+  // GROUP BY (ordinals refer to select items).
+  for (auto& g : stmt->group_by) {
+    if (g->kind == ExprKind::kLiteral && !g->literal.is_null() &&
+        g->literal.type() == DataType::kInt64) {
+      int64_t ord = g->literal.AsInt();
+      if (ord < 1 || ord > static_cast<int64_t>(out_.select.size())) {
+        return Status::BindError("GROUP BY ordinal out of range");
+      }
+      out_.group_by.push_back(out_.select[static_cast<size_t>(ord - 1)].expr->Clone());
+      continue;
+    }
+    SKINNER_RETURN_IF_ERROR(BindExpr(g.get()));
+    out_.group_by.push_back(std::move(g));
+  }
+
+  // ORDER BY (ordinals refer to select items).
+  for (auto& o : stmt->order_by) {
+    BoundOrderItem item;
+    item.desc = o.desc;
+    if (o.expr->kind == ExprKind::kLiteral && !o.expr->literal.is_null() &&
+        o.expr->literal.type() == DataType::kInt64) {
+      int64_t ord = o.expr->literal.AsInt();
+      if (ord < 1 || ord > static_cast<int64_t>(out_.select.size())) {
+        return Status::BindError("ORDER BY ordinal out of range");
+      }
+      item.expr = out_.select[static_cast<size_t>(ord - 1)].expr->Clone();
+    } else {
+      SKINNER_RETURN_IF_ERROR(BindExpr(o.expr.get()));
+      item.expr = std::move(o.expr);
+    }
+    out_.order_by.push_back(std::move(item));
+  }
+
+  out_.distinct = stmt->distinct;
+  out_.limit = stmt->limit;
+
+  // Validate grouping: with aggregates/GROUP BY, plain select items must be
+  // grouping expressions.
+  if (out_.has_aggregates || !out_.group_by.empty()) {
+    for (const auto& item : out_.select) {
+      if (item.expr->ContainsAggregate()) continue;
+      bool found = false;
+      for (const auto& g : out_.group_by) {
+        if (g->ToString() == item.expr->ToString()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::BindError("select item must be grouped or aggregated: " +
+                                 item.expr->ToString());
+      }
+    }
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
+                              const UdfRegistry* udfs) {
+  Binder binder(catalog, udfs);
+  return binder.Bind(stmt);
+}
+
+}  // namespace skinner

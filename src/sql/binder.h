@@ -1,0 +1,60 @@
+#ifndef SKINNER_SQL_BINDER_H_
+#define SKINNER_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/udf.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace skinner {
+
+struct BoundTable {
+  const Table* table;
+  std::string alias;
+};
+
+struct BoundSelectItem {
+  std::unique_ptr<Expr> expr;
+  std::string name;  // output column label
+};
+
+struct BoundOrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+/// A fully resolved SELECT: every column reference carries table/column
+/// indices, every function points at its UDF, every node has a type.
+/// This is the input to query-info analysis and all execution engines.
+struct BoundQuery {
+  std::vector<BoundTable> tables;
+  std::unique_ptr<Expr> where;  // may be null
+  std::vector<BoundSelectItem> select;
+  bool distinct = false;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<BoundOrderItem> order_by;
+  int64_t limit = -1;
+  bool has_aggregates = false;
+
+  int num_tables() const { return static_cast<int>(tables.size()); }
+  std::vector<const Table*> TablePtrs() const {
+    std::vector<const Table*> out;
+    out.reserve(tables.size());
+    for (const auto& t : tables) out.push_back(t.table);
+    return out;
+  }
+};
+
+/// Binds a parsed SELECT against the catalog. `stmt` is consumed. String
+/// literals are interned into the catalog's pool so engines can compare
+/// dictionary codes instead of strings.
+Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
+                              const UdfRegistry* udfs);
+
+}  // namespace skinner
+
+#endif  // SKINNER_SQL_BINDER_H_

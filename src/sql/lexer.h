@@ -1,0 +1,37 @@
+#ifndef SKINNER_SQL_LEXER_H_
+#define SKINNER_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skinner {
+
+enum class TokenType {
+  kIdent,     // bare identifier (keywords are classified by the parser)
+  kInt,       // integer literal
+  kDouble,    // floating-point literal
+  kString,    // 'quoted string' with '' escape
+  kSymbol,    // operator / punctuation: ( ) , . = <> != < <= > >= + - * / %
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier text (original case), symbol, or literal
+  int64_t int_val = 0;
+  double double_val = 0;
+  size_t pos = 0;     // byte offset in the input, for error messages
+
+  /// Case-insensitive keyword / identifier comparison.
+  bool Is(const char* kw) const;
+  bool IsSymbol(const char* s) const { return type == TokenType::kSymbol && text == s; }
+};
+
+/// Tokenizes a SQL string. Comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace skinner
+
+#endif  // SKINNER_SQL_LEXER_H_

@@ -1,0 +1,502 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace skinner {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Advance() { return toks_[pos_++]; }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().Is(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(StrFormat("expected %s at offset %zu (got '%s')",
+                                          kw, Peek().pos, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!MatchSymbol(s)) {
+      return Status::ParseError(StrFormat("expected '%s' at offset %zu (got '%s')",
+                                          s, Peek().pos, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError(
+          StrFormat("expected identifier at offset %zu", Peek().pos));
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseSelect();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDrop();
+
+  // Expression grammar, loosest to tightest binding.
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseNot();
+  Result<std::unique_ptr<Expr>> ParseComparison();
+  Result<std::unique_ptr<Expr>> ParseAdditive();
+  Result<std::unique_ptr<Expr>> ParseMultiplicative();
+  Result<std::unique_ptr<Expr>> ParseUnary();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+
+  bool IsReserved(const Token& t) const;
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+bool Parser::IsReserved(const Token& t) const {
+  static const char* kReserved[] = {
+      "select", "from",  "where", "group",  "order", "by",    "limit",
+      "and",    "or",    "not",   "as",     "join",  "inner", "on",
+      "like",   "in",    "between", "is",   "null",  "desc",  "asc",
+      "distinct", "having", "values", "insert", "into", "create", "table",
+      "drop",
+  };
+  if (t.type != TokenType::kIdent) return false;
+  for (const char* kw : kReserved) {
+    if (t.Is(kw)) return true;
+  }
+  return false;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  if (Peek().Is("select")) return ParseSelect();
+  if (Peek().Is("create")) return ParseCreate();
+  if (Peek().Is("insert")) return ParseInsert();
+  if (Peek().Is("drop")) return ParseDrop();
+  return Status::ParseError("statement must start with SELECT/CREATE/INSERT/DROP");
+}
+
+Result<Statement> Parser::ParseSelect() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("select"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = MatchKeyword("distinct");
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (MatchSymbol("*")) {
+      item.is_star = true;
+    } else {
+      SKINNER_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        SKINNER_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+        item.alias = Advance().text;
+      }
+      if (item.alias.empty()) item.alias = item.expr->ToString();
+    }
+    stmt->select.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("from"));
+
+  // FROM list with optional JOIN ... ON chains.
+  std::vector<std::unique_ptr<Expr>> join_conds;
+  auto parse_table_ref = [&]() -> Status {
+    TableRef ref;
+    auto name = ExpectIdent();
+    if (!name.ok()) return name.status();
+    ref.table_name = name.MoveValue();
+    if (MatchKeyword("as")) {
+      auto alias = ExpectIdent();
+      if (!alias.ok()) return alias.status();
+      ref.alias = alias.MoveValue();
+    } else if (Peek().type == TokenType::kIdent && !IsReserved(Peek())) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) ref.alias = ref.table_name;
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  };
+  SKINNER_RETURN_IF_ERROR(parse_table_ref());
+  for (;;) {
+    if (MatchSymbol(",")) {
+      SKINNER_RETURN_IF_ERROR(parse_table_ref());
+      continue;
+    }
+    if (Peek().Is("inner") || Peek().Is("join")) {
+      MatchKeyword("inner");
+      SKINNER_RETURN_IF_ERROR(ExpectKeyword("join"));
+      SKINNER_RETURN_IF_ERROR(parse_table_ref());
+      SKINNER_RETURN_IF_ERROR(ExpectKeyword("on"));
+      SKINNER_ASSIGN_OR_RETURN(auto cond, ParseExpr());
+      join_conds.push_back(std::move(cond));
+      continue;
+    }
+    break;
+  }
+
+  if (MatchKeyword("where")) {
+    SKINNER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  // Fold JOIN ON conditions into WHERE.
+  for (auto& cond : join_conds) {
+    if (stmt->where == nullptr) {
+      stmt->where = std::move(cond);
+    } else {
+      stmt->where = Expr::MakeBinary(BinOp::kAnd, std::move(stmt->where),
+                                     std::move(cond));
+    }
+  }
+
+  if (MatchKeyword("group")) {
+    SKINNER_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      SKINNER_ASSIGN_OR_RETURN(auto g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("order")) {
+    SKINNER_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      OrderItem item;
+      SKINNER_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) {
+        item.desc = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("limit")) {
+    if (Peek().type != TokenType::kInt) {
+      return Status::ParseError("LIMIT expects an integer");
+    }
+    stmt->limit = Advance().int_val;
+  }
+  MatchSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError(
+        StrFormat("trailing input at offset %zu: '%s'", Peek().pos,
+                  Peek().text.c_str()));
+  }
+  Statement out;
+  out.kind = Statement::Kind::kSelect;
+  out.select = std::move(stmt);
+  return out;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("create"));
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("table"));
+  auto stmt = std::make_unique<CreateTableStmt>();
+  SKINNER_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+  SKINNER_RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    ColumnDef def;
+    SKINNER_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+    SKINNER_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+    std::string lt = ToLower(type_name);
+    if (lt == "int" || lt == "integer" || lt == "bigint") {
+      def.type = DataType::kInt64;
+    } else if (lt == "double" || lt == "float" || lt == "real" ||
+               lt == "decimal" || lt == "numeric") {
+      def.type = DataType::kDouble;
+    } else if (lt == "string" || lt == "text" || lt == "varchar" ||
+               lt == "char" || lt == "date") {
+      def.type = DataType::kString;
+      // Optional length argument, e.g. VARCHAR(25) / DECIMAL(15,2).
+      if (MatchSymbol("(")) {
+        while (!Peek().IsSymbol(")") && Peek().type != TokenType::kEnd) Advance();
+        SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    } else {
+      return Status::ParseError("unknown type: " + type_name);
+    }
+    stmt->columns.push_back(std::move(def));
+  } while (MatchSymbol(","));
+  SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+  MatchSymbol(";");
+  Statement out;
+  out.kind = Statement::Kind::kCreateTable;
+  out.create = std::move(stmt);
+  return out;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("into"));
+  auto stmt = std::make_unique<InsertStmt>();
+  SKINNER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("values"));
+  do {
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::unique_ptr<Expr>> row;
+    do {
+      SKINNER_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt->rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  MatchSymbol(";");
+  Statement out;
+  out.kind = Statement::Kind::kInsert;
+  out.insert = std::move(stmt);
+  return out;
+}
+
+Result<Statement> Parser::ParseDrop() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("drop"));
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("table"));
+  auto stmt = std::make_unique<DropTableStmt>();
+  SKINNER_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+  MatchSymbol(";");
+  Statement out;
+  out.kind = Statement::Kind::kDropTable;
+  out.drop = std::move(stmt);
+  return out;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  SKINNER_ASSIGN_OR_RETURN(auto left, ParseAnd());
+  while (MatchKeyword("or")) {
+    SKINNER_ASSIGN_OR_RETURN(auto right, ParseAnd());
+    left = Expr::MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  SKINNER_ASSIGN_OR_RETURN(auto left, ParseNot());
+  while (MatchKeyword("and")) {
+    SKINNER_ASSIGN_OR_RETURN(auto right, ParseNot());
+    left = Expr::MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    SKINNER_ASSIGN_OR_RETURN(auto c, ParseNot());
+    return Expr::MakeUnary(UnOp::kNot, std::move(c));
+  }
+  return ParseComparison();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseComparison() {
+  SKINNER_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+  // IS [NOT] NULL
+  if (MatchKeyword("is")) {
+    bool negated = MatchKeyword("not");
+    SKINNER_RETURN_IF_ERROR(ExpectKeyword("null"));
+    return Expr::MakeUnary(negated ? UnOp::kIsNotNull : UnOp::kIsNull,
+                           std::move(left));
+  }
+  bool negated = false;
+  if (Peek().Is("not") && (Peek(1).Is("like") || Peek(1).Is("in") ||
+                           Peek(1).Is("between"))) {
+    MatchKeyword("not");
+    negated = true;
+  }
+  if (MatchKeyword("like")) {
+    SKINNER_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+    auto e = Expr::MakeBinary(BinOp::kLike, std::move(left), std::move(right));
+    if (negated) e = Expr::MakeUnary(UnOp::kNot, std::move(e));
+    return e;
+  }
+  if (MatchKeyword("between")) {
+    SKINNER_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+    SKINNER_RETURN_IF_ERROR(ExpectKeyword("and"));
+    SKINNER_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+    auto ge = Expr::MakeBinary(BinOp::kGe, left->Clone(), std::move(lo));
+    auto le = Expr::MakeBinary(BinOp::kLe, std::move(left), std::move(hi));
+    auto e = Expr::MakeBinary(BinOp::kAnd, std::move(ge), std::move(le));
+    if (negated) e = Expr::MakeUnary(UnOp::kNot, std::move(e));
+    return e;
+  }
+  if (MatchKeyword("in")) {
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::unique_ptr<Expr> disj;
+    do {
+      SKINNER_ASSIGN_OR_RETURN(auto item, ParseExpr());
+      auto eq = Expr::MakeBinary(BinOp::kEq, left->Clone(), std::move(item));
+      disj = disj ? Expr::MakeBinary(BinOp::kOr, std::move(disj), std::move(eq))
+                  : std::move(eq);
+    } while (MatchSymbol(","));
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (negated) disj = Expr::MakeUnary(UnOp::kNot, std::move(disj));
+    return disj;
+  }
+  struct {
+    const char* sym;
+    BinOp op;
+  } static const kOps[] = {
+      {"=", BinOp::kEq},  {"<>", BinOp::kNe}, {"!=", BinOp::kNe},
+      {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"<", BinOp::kLt},
+      {">", BinOp::kGt},
+  };
+  for (const auto& o : kOps) {
+    if (MatchSymbol(o.sym)) {
+      SKINNER_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+      return Expr::MakeBinary(o.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  SKINNER_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+  for (;;) {
+    BinOp op;
+    if (MatchSymbol("+")) {
+      op = BinOp::kAdd;
+    } else if (MatchSymbol("-")) {
+      op = BinOp::kSub;
+    } else {
+      break;
+    }
+    SKINNER_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  SKINNER_ASSIGN_OR_RETURN(auto left, ParseUnary());
+  for (;;) {
+    BinOp op;
+    if (MatchSymbol("*")) {
+      op = BinOp::kMul;
+    } else if (MatchSymbol("/")) {
+      op = BinOp::kDiv;
+    } else if (MatchSymbol("%")) {
+      op = BinOp::kMod;
+    } else {
+      break;
+    }
+    SKINNER_ASSIGN_OR_RETURN(auto right, ParseUnary());
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    SKINNER_ASSIGN_OR_RETURN(auto c, ParseUnary());
+    return Expr::MakeUnary(UnOp::kNeg, std::move(c));
+  }
+  return ParsePrimary();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.type == TokenType::kInt) {
+    Advance();
+    return Expr::MakeLiteral(Value::Int(t.int_val));
+  }
+  if (t.type == TokenType::kDouble) {
+    Advance();
+    return Expr::MakeLiteral(Value::Double(t.double_val));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return Expr::MakeLiteral(Value::String(t.text));
+  }
+  if (MatchSymbol("(")) {
+    SKINNER_ASSIGN_OR_RETURN(auto e, ParseExpr());
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (t.Is("null")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Null());
+  }
+  if (t.type == TokenType::kIdent) {
+    // Aggregates.
+    struct {
+      const char* name;
+      AggKind kind;
+    } static const kAggs[] = {
+        {"count", AggKind::kCount}, {"sum", AggKind::kSum},
+        {"min", AggKind::kMin},     {"max", AggKind::kMax},
+        {"avg", AggKind::kAvg},
+    };
+    for (const auto& a : kAggs) {
+      if (t.Is(a.name) && Peek(1).IsSymbol("(")) {
+        Advance();
+        Advance();
+        if (a.kind == AggKind::kCount && MatchSymbol("*")) {
+          SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return Expr::MakeAgg(AggKind::kCountStar, nullptr);
+        }
+        SKINNER_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+        SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return Expr::MakeAgg(a.kind, std::move(arg));
+      }
+    }
+    // Function call (UDF).
+    if (Peek(1).IsSymbol("(") && !IsReserved(t)) {
+      std::string name = Advance().text;
+      Advance();  // (
+      std::vector<std::unique_ptr<Expr>> args;
+      if (!Peek().IsSymbol(")")) {
+        do {
+          SKINNER_ASSIGN_OR_RETURN(auto e, ParseExpr());
+          args.push_back(std::move(e));
+        } while (MatchSymbol(","));
+      }
+      SKINNER_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return Expr::MakeFunc(std::move(name), std::move(args));
+    }
+    // Column reference: ident or ident.ident.
+    if (!IsReserved(t)) {
+      std::string first = Advance().text;
+      if (MatchSymbol(".")) {
+        SKINNER_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        return Expr::MakeColumn(std::move(first), std::move(col));
+      }
+      return Expr::MakeColumn("", std::move(first));
+    }
+  }
+  return Status::ParseError(
+      StrFormat("unexpected token '%s' at offset %zu", t.text.c_str(), t.pos));
+}
+
+}  // namespace
+
+Result<Statement> ParseSql(const std::string& sql) {
+  SKINNER_ASSIGN_OR_RETURN(auto tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace skinner

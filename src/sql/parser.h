@@ -1,0 +1,24 @@
+#ifndef SKINNER_SQL_PARSER_H_
+#define SKINNER_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace skinner {
+
+/// Parses a single SQL statement (optionally ';'-terminated). Supported:
+///   SELECT [DISTINCT] items FROM t [alias] [, ...| JOIN t ON cond ...]
+///     [WHERE cond] [GROUP BY exprs] [ORDER BY exprs [DESC]] [LIMIT n]
+///   CREATE TABLE name (col TYPE, ...)        TYPE in {INT, DOUBLE, STRING}
+///   INSERT INTO name VALUES (lit, ...)[, (...)]
+///   DROP TABLE name
+/// IN lists, BETWEEN, NOT LIKE and IS [NOT] NULL are desugared during
+/// parsing into the core expression algebra.
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace skinner
+
+#endif  // SKINNER_SQL_PARSER_H_

@@ -1,0 +1,55 @@
+#ifndef SKINNER_STATS_ESTIMATOR_H_
+#define SKINNER_STATS_ESTIMATOR_H_
+
+#include <vector>
+
+#include "query/query_info.h"
+#include "stats/stats.h"
+
+namespace skinner {
+
+/// Default selectivities in the System R tradition; used whenever a
+/// predicate cannot be analyzed (user-defined functions foremost).
+struct EstimatorOptions {
+  double default_udf_selectivity = 1.0 / 3.0;
+  double default_range_selectivity = 1.0 / 3.0;
+  double default_like_selectivity = 1.0 / 10.0;
+  double default_generic_join_selectivity = 1.0 / 10.0;
+};
+
+/// Cardinality/selectivity estimation exactly as a traditional optimizer
+/// performs it: per-column uniformity, cross-predicate independence,
+/// defaults for black-box predicates. This module is *designed to be
+/// fallible in the canonical ways* — it is the substrate whose failure
+/// modes (correlation, skew, UDFs) the paper's torture benchmarks target.
+class Estimator {
+ public:
+  Estimator(StatsManager* stats, const EstimatorOptions& opts = {})
+      : stats_(stats), opts_(opts) {}
+
+  /// Selectivity of a (bound) unary predicate on `table`.
+  double PredicateSelectivity(const Table& table, const Expr& pred) const;
+
+  /// Estimated rows of `table` after applying `preds` (independence).
+  double FilteredCardinality(const Table& table,
+                             const std::vector<const Expr*>& preds) const;
+
+  /// Selectivity of one join conjunct. Equality joins use 1/max(ndv);
+  /// anything else falls back to defaults.
+  double JoinSelectivity(const BoundQuery& query, const PredInfo& pred) const;
+
+  /// Estimated cardinality of joining table set `set`, given per-table
+  /// filtered cardinalities and per-join-predicate selectivities
+  /// (both indexed as in `info`).
+  static double JoinCardinality(TableSet set, const QueryInfo& info,
+                                const std::vector<double>& table_cards,
+                                const std::vector<double>& join_sels);
+
+ private:
+  StatsManager* stats_;
+  EstimatorOptions opts_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STATS_ESTIMATOR_H_

@@ -1,0 +1,61 @@
+#include "stats/stats.h"
+
+#include <unordered_set>
+
+namespace skinner {
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  stats.columns.resize(static_cast<size_t>(table.schema().num_columns()));
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
+    cs.numeric = col.type() != DataType::kString;
+    std::unordered_set<uint64_t> distinct;
+    bool first = true;
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (col.IsNull(r)) {
+        ++cs.null_count;
+        continue;
+      }
+      uint64_t key;
+      switch (col.type()) {
+        case DataType::kString:
+          key = static_cast<uint64_t>(col.GetStringId(r));
+          break;
+        case DataType::kInt64:
+          key = static_cast<uint64_t>(col.GetInt(r));
+          break;
+        case DataType::kDouble: {
+          double d = col.GetDouble(r);
+          __builtin_memcpy(&key, &d, sizeof(d));
+          break;
+        }
+      }
+      distinct.insert(key);
+      if (cs.numeric) {
+        double v = col.GetDouble(r);
+        if (first || v < cs.min_val) cs.min_val = v;
+        if (first || v > cs.max_val) cs.max_val = v;
+        first = false;
+      }
+    }
+    cs.num_distinct = static_cast<int64_t>(distinct.size());
+  }
+  return stats;
+}
+
+const TableStats& StatsManager::Get(const Table* table) {
+  auto it = cache_.find(table);
+  if (it != cache_.end() && it->second.row_count == table->num_rows()) {
+    return it->second.stats;
+  }
+  Entry entry;
+  entry.row_count = table->num_rows();
+  entry.stats = ComputeTableStats(*table);
+  auto [pos, inserted] = cache_.insert_or_assign(table, std::move(entry));
+  return pos->second.stats;
+}
+
+}  // namespace skinner

@@ -1,0 +1,48 @@
+#ifndef SKINNER_STATS_STATS_H_
+#define SKINNER_STATS_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace skinner {
+
+/// Summary statistics for one column, as a traditional optimizer would
+/// maintain them: distinct count, numeric min/max, null count. These are
+/// exact at our scale; the estimation *errors* the paper exploits come from
+/// the independence and uniformity assumptions, not from stale counts.
+struct ColumnStats {
+  int64_t num_distinct = 0;
+  int64_t null_count = 0;
+  bool numeric = false;
+  double min_val = 0;
+  double max_val = 0;
+};
+
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Scans a table and computes statistics.
+TableStats ComputeTableStats(const Table& table);
+
+/// Cache of per-table statistics, invalidated when the row count changes.
+class StatsManager {
+ public:
+  const TableStats& Get(const Table* table);
+
+ private:
+  struct Entry {
+    int64_t row_count;
+    TableStats stats;
+  };
+  std::unordered_map<const Table*, Entry> cache_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STATS_STATS_H_

@@ -1,0 +1,41 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), &pool_);
+  Table* ptr = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return ptr;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, t] : tables_) names.push_back(t->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace skinner

@@ -1,0 +1,44 @@
+#ifndef SKINNER_STORAGE_CATALOG_H_
+#define SKINNER_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/string_pool.h"
+#include "storage/table.h"
+
+namespace skinner {
+
+/// Owns all tables of a database plus the shared string dictionary.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails with AlreadyExists on name clash
+  /// (case-insensitive).
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Removes a table; fails with NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Case-insensitive lookup; nullptr if absent.
+  Table* FindTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  StringPool* string_pool() { return &pool_; }
+  const StringPool& string_pool() const { return pool_; }
+
+ private:
+  StringPool pool_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lowercase key
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_CATALOG_H_

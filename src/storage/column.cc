@@ -1,0 +1,57 @@
+#include "storage/column.h"
+
+namespace skinner {
+
+void Column::AppendNull() {
+  size_t row = static_cast<size_t>(size());
+  // Materialize the validity array lazily, then keep it in sync with the
+  // payload arrays from here on (every append path extends it).
+  if (nulls_.empty()) nulls_.assign(row, 0);
+  if (type_ == DataType::kDouble) {
+    doubles_.push_back(0);
+  } else {
+    ints_.push_back(0);
+  }
+  nulls_.push_back(1);
+}
+
+Status Column::AppendValue(const Value& v, StringPool* pool) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (v.type() == DataType::kString) {
+        return Status::TypeError("cannot store string in INT column");
+      }
+      AppendInt(v.type() == DataType::kDouble ? static_cast<int64_t>(v.AsDouble())
+                                              : v.AsInt());
+      break;
+    case DataType::kDouble:
+      if (v.type() == DataType::kString) {
+        return Status::TypeError("cannot store string in DOUBLE column");
+      }
+      AppendDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      if (v.type() != DataType::kString) {
+        return Status::TypeError("cannot store numeric in STRING column");
+      }
+      AppendString(v.AsString(), pool);
+      break;
+  }
+  return Status::OK();
+}
+
+Value Column::GetValue(int64_t row, const StringPool& pool) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64: return Value::Int(GetInt(row));
+    case DataType::kDouble: return Value::Double(GetDouble(row));
+    case DataType::kString: return Value::String(pool.Get(GetStringId(row)));
+  }
+  return Value::Null();
+}
+
+}  // namespace skinner

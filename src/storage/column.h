@@ -1,0 +1,89 @@
+#ifndef SKINNER_STORAGE_COLUMN_H_
+#define SKINNER_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/string_pool.h"
+#include "storage/value.h"
+
+namespace skinner {
+
+/// A single in-memory column. Integers and dictionary codes share one
+/// int64 array; doubles use their own array. NULLs are tracked by a lazy
+/// byte-per-row validity array (allocated on first NULL).
+///
+/// The column-store layout is a prerequisite for Skinner-C: tuples are
+/// represented as index vectors and only the columns a predicate touches
+/// are ever read (paper Section 4.5).
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  int64_t size() const { return static_cast<int64_t>(
+      type_ == DataType::kDouble ? doubles_.size() : ints_.size()); }
+
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+  /// Appends a string (interned into `pool`).
+  void AppendString(std::string_view s, StringPool* pool) {
+    ints_.push_back(pool->Intern(s));
+    if (!nulls_.empty()) nulls_.push_back(0);
+  }
+  /// Appends a NULL of this column's type.
+  void AppendNull();
+
+  /// Appends `v`, coercing numeric types; returns TypeError on mismatch.
+  Status AppendValue(const Value& v, StringPool* pool);
+
+  bool IsNull(int64_t row) const {
+    return !nulls_.empty() && nulls_[static_cast<size_t>(row)] != 0;
+  }
+  int64_t GetInt(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  double GetDouble(int64_t row) const {
+    return type_ == DataType::kDouble ? doubles_[static_cast<size_t>(row)]
+                                      : static_cast<double>(ints_[static_cast<size_t>(row)]);
+  }
+  /// Dictionary code of a string cell (only valid for kString columns).
+  int32_t GetStringId(int64_t row) const {
+    return static_cast<int32_t>(ints_[static_cast<size_t>(row)]);
+  }
+
+  /// Generic 64-bit key for hash joins. Numeric cells normalize through
+  /// double bits (exact for the magnitudes we store), so INT and DOUBLE
+  /// columns can equi-join; strings use their dictionary code (the pool is
+  /// database-wide). Two cells in any columns of the same logical type are
+  /// join-equal iff their keys are equal.
+  uint64_t JoinKey(int64_t row) const {
+    if (type_ == DataType::kString) {
+      return static_cast<uint64_t>(ints_[static_cast<size_t>(row)]);
+    }
+    double d = GetDouble(row);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    return bits;
+  }
+
+  /// Materializes a cell as a Value (strings looked up in `pool`).
+  Value GetValue(int64_t row, const StringPool& pool) const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;     // int64 payloads or string dictionary codes
+  std::vector<double> doubles_;   // double payloads
+  std::vector<uint8_t> nulls_;    // lazily allocated; 1 = NULL
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_COLUMN_H_

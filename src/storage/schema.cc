@@ -1,0 +1,15 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+int Schema::FindColumn(const std::string& name) const {
+  std::string want = ToLower(name);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (ToLower(cols_[i].name) == want) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace skinner

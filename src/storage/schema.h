@@ -1,0 +1,36 @@
+#ifndef SKINNER_STORAGE_SCHEMA_H_
+#define SKINNER_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace skinner {
+
+/// Name and type of one column.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of column definitions for a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> cols) : cols_(std::move(cols)) {}
+
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  const ColumnDef& column(int i) const { return cols_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+
+  /// Case-insensitive column lookup; returns -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+ private:
+  std::vector<ColumnDef> cols_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_SCHEMA_H_

@@ -1,0 +1,39 @@
+#ifndef SKINNER_STORAGE_STRING_POOL_H_
+#define SKINNER_STORAGE_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace skinner {
+
+/// Database-wide append-only string interner. Every distinct string value
+/// stored in any column receives one int32 id. Equality joins on string
+/// columns therefore reduce to integer comparisons, which is what makes the
+/// tuple-index-only execution state of Skinner-C cheap for string data too.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id for `s`, interning it on first sight.
+  int32_t Intern(std::string_view s);
+
+  /// Returns the id for `s` or -1 if it was never interned. Useful for
+  /// probing literals: a literal absent from the pool matches nothing.
+  int32_t Lookup(std::string_view s) const;
+
+  const std::string& Get(int32_t id) const { return strings_[static_cast<size_t>(id)]; }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string_view, int32_t> index_;  // views into strings_
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_STRING_POOL_H_

@@ -1,0 +1,36 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+Table::Table(std::string name, Schema schema, StringPool* pool)
+    : name_(std::move(name)), schema_(std::move(schema)), pool_(pool) {
+  cols_.reserve(static_cast<size_t>(schema_.num_columns()));
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    cols_.push_back(std::make_unique<Column>(schema_.column(i).type));
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %d values, got %zu", name_.c_str(),
+                  schema_.num_columns(), values.size()));
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    SKINNER_RETURN_IF_ERROR(cols_[static_cast<size_t>(i)]->AppendValue(
+        values[static_cast<size_t>(i)], pool_));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(int64_t row) const {
+  std::vector<Value> out;
+  out.reserve(cols_.size());
+  for (const auto& c : cols_) out.push_back(c->GetValue(row, *pool_));
+  return out;
+}
+
+}  // namespace skinner

@@ -1,0 +1,50 @@
+#ifndef SKINNER_STORAGE_TABLE_H_
+#define SKINNER_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/string_pool.h"
+
+namespace skinner {
+
+/// An in-memory, column-store table. Rows are identified by their 0-based
+/// position; execution engines pass row ids around instead of tuples.
+class Table {
+ public:
+  Table(std::string name, Schema schema, StringPool* pool);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  const Column& column(int i) const { return *cols_[static_cast<size_t>(i)]; }
+  Column* mutable_column(int i) { return cols_[static_cast<size_t>(i)].get(); }
+
+  /// Appends one row; values.size() must equal the column count.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Fast typed appends for generators (one call per column, then
+  /// CommitRow). The caller must append to every column exactly once.
+  void CommitRow() { ++num_rows_; }
+
+  /// Materializes one row (for result output / debugging).
+  std::vector<Value> GetRow(int64_t row) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  StringPool* pool_;
+  std::vector<std::unique_ptr<Column>> cols_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_TABLE_H_

@@ -1,0 +1,54 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace skinner {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+  }
+  return "?";
+}
+
+bool Value::IsTrue() const {
+  if (null_) return false;
+  switch (type_) {
+    case DataType::kInt64: return int_ != 0;
+    case DataType::kDouble: return double_ != 0;
+    case DataType::kString: return !str_.empty();
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric types compare numerically (INT vs DOUBLE promotes to double).
+  if (type_ == DataType::kString && other.type_ == DataType::kString) {
+    int c = str_.compare(other.str_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (type_ == DataType::kInt64 && other.type_ == DataType::kInt64) {
+    return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case DataType::kInt64: return std::to_string(int_);
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case DataType::kString: return str_;
+  }
+  return "?";
+}
+
+}  // namespace skinner

@@ -1,0 +1,83 @@
+#ifndef SKINNER_STORAGE_VALUE_H_
+#define SKINNER_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace skinner {
+
+/// Column data types supported by the engine.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType t);
+
+/// A single (possibly NULL) scalar value. Values appear at API boundaries:
+/// literals in expressions, query results, CSV ingestion. Inside the
+/// execution engines data stays columnar (see Column) and strings stay
+/// dictionary-encoded; Value materialization happens on demand only.
+class Value {
+ public:
+  /// NULL value of unspecified type.
+  Value() : type_(DataType::kInt64), null_(true) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value x;
+    x.type_ = DataType::kInt64;
+    x.null_ = false;
+    x.int_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.type_ = DataType::kDouble;
+    x.null_ = false;
+    x.double_ = v;
+    return x;
+  }
+  static Value String(std::string v) {
+    Value x;
+    x.type_ = DataType::kString;
+    x.null_ = false;
+    x.str_ = std::move(v);
+    return x;
+  }
+  static Value Bool(bool b) { return Int(b ? 1 : 0); }
+
+  bool is_null() const { return null_; }
+  DataType type() const { return type_; }
+
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return type_ == DataType::kDouble ? double_ : static_cast<double>(int_);
+  }
+  const std::string& AsString() const { return str_; }
+  /// SQL truthiness: non-null and non-zero.
+  bool IsTrue() const;
+
+  /// Three-valued SQL comparison helper: returns -1/0/+1; caller must check
+  /// nulls first (comparing a null is the caller's responsibility).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    if (null_ || other.null_) return null_ && other.null_;
+    return Compare(other) == 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  bool null_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_STORAGE_VALUE_H_

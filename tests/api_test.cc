@@ -1,0 +1,143 @@
+#include "api/database.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE dept (id INT, dname STRING)").ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE emp (id INT, name STRING, dept_id INT, "
+                    "salary DOUBLE)")
+            .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), "
+                            "(3, 'hr')")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute(
+              "INSERT INTO emp VALUES "
+              "(1, 'ada', 1, 120.0), (2, 'bob', 1, 95.5), (3, 'cyd', 2, 80.0), "
+              "(4, 'dan', 2, 70.0), (5, 'eve', 3, 60.0), (6, 'fay', 9, 50.0)")
+            .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ApiTest, CreateInsertSelectStar) {
+  auto out = db_.Query("SELECT * FROM dept ORDER BY id");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const QueryResult& r = out.value().result;
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.column_names[0], "id");
+  EXPECT_EQ(r.rows[0][1].AsString(), "eng");
+}
+
+TEST_F(ApiTest, JoinAllEngines) {
+  const char* sql =
+      "SELECT COUNT(*) FROM emp e, dept d WHERE e.dept_id = d.id";
+  for (EngineKind kind :
+       {EngineKind::kSkinnerC, EngineKind::kSkinnerG, EngineKind::kSkinnerH,
+        EngineKind::kVolcano, EngineKind::kBlock, EngineKind::kRandomOrder,
+        EngineKind::kEddy, EngineKind::kReopt}) {
+    ExecOptions opts;
+    opts.engine = kind;
+    auto out = db_.Query(sql, opts);
+    ASSERT_TRUE(out.ok()) << EngineKindName(kind) << ": "
+                          << out.status().ToString();
+    ASSERT_EQ(out.value().result.rows.size(), 1u) << EngineKindName(kind);
+    EXPECT_EQ(out.value().result.rows[0][0].AsInt(), 5)
+        << EngineKindName(kind);
+  }
+}
+
+TEST_F(ApiTest, ProjectionAndFilter) {
+  auto out = db_.Query(
+      "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept_id = d.id "
+      "WHERE e.salary > 75 ORDER BY e.name");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const QueryResult& r = out.value().result;
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ada");
+  EXPECT_EQ(r.rows[0][1].AsString(), "eng");
+  EXPECT_EQ(r.rows[2][0].AsString(), "cyd");
+}
+
+TEST_F(ApiTest, GroupByAggregates) {
+  auto out = db_.Query(
+      "SELECT d.dname, COUNT(*) AS c, SUM(e.salary) AS total, "
+      "AVG(e.salary) AS a, MIN(e.salary) AS lo, MAX(e.salary) AS hi "
+      "FROM emp e, dept d WHERE e.dept_id = d.id "
+      "GROUP BY d.dname ORDER BY 1");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const QueryResult& r = out.value().result;
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "eng");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 215.5);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 107.75);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 95.5);
+  EXPECT_DOUBLE_EQ(r.rows[0][5].AsDouble(), 120.0);
+}
+
+TEST_F(ApiTest, EmptyJoinResult) {
+  auto out = db_.Query(
+      "SELECT COUNT(*) FROM emp e, dept d WHERE e.dept_id = d.id AND "
+      "d.dname = 'nosuch'");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().result.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ApiTest, UdfPredicate) {
+  ASSERT_TRUE(db_.udfs()
+                  ->Register("is_rich", 1, DataType::kInt64,
+                             [](const std::vector<Value>& args) {
+                               return Value::Bool(!args[0].is_null() &&
+                                                  args[0].AsDouble() > 90);
+                             })
+                  .ok());
+  auto out = db_.Query("SELECT COUNT(*) FROM emp WHERE is_rich(salary)");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().result.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ApiTest, DistinctAndLimit) {
+  auto out = db_.Query("SELECT DISTINCT dept_id FROM emp ORDER BY 1 LIMIT 2");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.value().result.rows.size(), 2u);
+  EXPECT_EQ(out.value().result.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(out.value().result.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(ApiTest, ErrorsSurfaceAsStatus) {
+  EXPECT_FALSE(db_.Query("SELECT * FROM nosuch").ok());
+  EXPECT_FALSE(db_.Query("SELECT bogus FROM emp").ok());
+  EXPECT_FALSE(db_.Query("SELEKT * FROM emp").ok());
+  EXPECT_FALSE(db_.Execute("CREATE TABLE dept (id INT)").ok());  // duplicate
+  EXPECT_FALSE(db_.Execute("INSERT INTO dept VALUES (1)").ok());  // arity
+}
+
+TEST_F(ApiTest, StatsReporting) {
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  auto out = db_.Query(
+      "SELECT COUNT(*) FROM emp e, dept d WHERE e.dept_id = d.id", opts);
+  ASSERT_TRUE(out.ok());
+  const ExecutionStats& s = out.value().stats;
+  EXPECT_GT(s.total_cost, 0u);
+  EXPECT_GT(s.slices, 0u);
+  EXPECT_EQ(s.join_order.size(), 2u);
+  EXPECT_FALSE(s.timed_out);
+}
+
+TEST_F(ApiTest, DropTable) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE tmp (x INT)").ok());
+  ASSERT_TRUE(db_.Execute("DROP TABLE tmp").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM tmp").ok());
+}
+
+}  // namespace
+}  // namespace skinner

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "baselines/eddy.h"
+#include "baselines/reopt.h"
+#include "sql/parser.h"
+
+namespace skinner {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = catalog_.CreateTable("a", Schema({{"k", DataType::kInt64},
+                                               {"v", DataType::kInt64}}));
+    auto b = catalog_.CreateTable("b", Schema({{"k", DataType::kInt64}}));
+    auto c = catalog_.CreateTable("c", Schema({{"k", DataType::kInt64}}));
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    for (int i = 0; i < 15; ++i) {
+      a.value()->mutable_column(0)->AppendInt(i % 5);
+      a.value()->mutable_column(1)->AppendInt(i);
+      a.value()->CommitRow();
+    }
+    for (int i = 0; i < 10; ++i) {
+      b.value()->mutable_column(0)->AppendInt(i % 5);
+      b.value()->CommitRow();
+    }
+    for (int i = 0; i < 5; ++i) {
+      c.value()->mutable_column(0)->AppendInt(i);
+      c.value()->CommitRow();
+    }
+  }
+
+  void Prepare(const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto q = BindSelect(stmt.value().select.get(), &catalog_, &udfs_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::make_unique<BoundQuery>(q.MoveValue());
+    info_ = std::make_unique<QueryInfo>(QueryInfo::Analyze(*query_).MoveValue());
+    auto pq = PreparedQuery::Prepare(query_.get(), info_.get(),
+                                     catalog_.string_pool(), &clock_, {});
+    ASSERT_TRUE(pq.ok());
+    pq_ = pq.MoveValue();
+  }
+
+  // |a ⋈ b ⋈ c on k| = 5 keys x 3 x 2 x 1 = 30.
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  VirtualClock clock_;
+  std::unique_ptr<BoundQuery> query_;
+  std::unique_ptr<QueryInfo> info_;
+  std::unique_ptr<PreparedQuery> pq_;
+};
+
+TEST_F(BaselinesTest, EddyProducesCompleteResult) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  EddyOptions opts;
+  EddyEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 30u);
+  EXPECT_GT(engine.stats().routed_tuples, 0u);
+  EXPECT_GT(engine.stats().candidate_checks, 0u);
+}
+
+TEST_F(BaselinesTest, EddyNoDuplicates) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  EddyOptions opts;
+  opts.epsilon = 0.5;  // heavy random routing
+  EddyEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  EXPECT_EQ(out.size(), 30u);
+}
+
+TEST_F(BaselinesTest, EddyHandlesGenericPredicates) {
+  ASSERT_TRUE(udfs_.Register("close", 2, DataType::kInt64,
+                             [](const std::vector<Value>& a) {
+                               if (a[0].is_null() || a[1].is_null()) {
+                                 return Value::Bool(false);
+                               }
+                               return Value::Bool(
+                                   std::abs(a[0].AsInt() - a[1].AsInt()) <= 1);
+                             })
+                  .ok());
+  Prepare("SELECT COUNT(*) FROM b, c WHERE close(b.k, c.k)");
+  EddyOptions opts;
+  EddyEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  // b.k in {0..4} x2, c.k in {0..4}; |k_b - k_c| <= 1: per b value v:
+  // matches = #(c in {v-1,v,v+1} ∩ [0,4]). v=0:2, 1:3, 2:3, 3:3, 4:2 = 13;
+  // two b rows per value -> 26.
+  EXPECT_EQ(out.size(), 26u);
+}
+
+TEST_F(BaselinesTest, EddyDeadline) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  EddyOptions opts;
+  opts.deadline = clock_.now() + 5;
+  EddyEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_TRUE(engine.stats().timed_out);
+}
+
+TEST_F(BaselinesTest, ReoptProducesCompleteResult) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  StatsManager mgr;
+  Estimator est(&mgr);
+  ReoptOptions opts;
+  ReoptEngine engine(pq_.get(), &est, opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 30u);
+  EXPECT_EQ(engine.stats().executed_order.size(), 3u);
+}
+
+TEST_F(BaselinesTest, ReoptReplansOnBadEstimates) {
+  // Tight threshold: any estimation error triggers a replan; the plan must
+  // still complete correctly.
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  StatsManager mgr;
+  Estimator est(&mgr);
+  ReoptOptions opts;
+  opts.threshold = 1.01;
+  ReoptEngine engine(pq_.get(), &est, opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 30u);
+}
+
+TEST_F(BaselinesTest, ReoptDeadline) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  StatsManager mgr;
+  Estimator est(&mgr);
+  ReoptOptions opts;
+  opts.deadline = clock_.now() + 3;
+  ReoptEngine engine(pq_.get(), &est, opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_TRUE(engine.stats().timed_out);
+}
+
+TEST_F(BaselinesTest, SingleTableBothBaselines) {
+  Prepare("SELECT COUNT(*) FROM a WHERE a.v < 5");
+  {
+    EddyOptions opts;
+    EddyEngine engine(pq_.get(), opts);
+    std::vector<PosTuple> out;
+    ASSERT_TRUE(engine.Run(&out).ok());
+    EXPECT_EQ(out.size(), 5u);
+  }
+  {
+    StatsManager mgr;
+    Estimator est(&mgr);
+    ReoptEngine engine(pq_.get(), &est, ReoptOptions{});
+    std::vector<PosTuple> out;
+    ASSERT_TRUE(engine.Run(&out).ok());
+    EXPECT_EQ(out.size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace skinner

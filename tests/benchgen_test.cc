@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/job.h"
+#include "benchgen/torture.h"
+#include "benchgen/tpch.h"
+#include "benchgen/tpch_queries.h"
+#include "benchgen/runner.h"
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+using bench::GenerateJob;
+using bench::GenerateTorture;
+using bench::GenerateTpch;
+using bench::JobQueries;
+using bench::TortureMode;
+using bench::TortureShape;
+using bench::TortureSpec;
+
+TEST(TortureGenTest, UdfChainHasEmptyResult) {
+  Database db;
+  TortureSpec spec;
+  spec.mode = TortureMode::kUdf;
+  spec.num_tables = 4;
+  spec.rows_per_table = 20;
+  spec.good_position = 1;
+  auto inst = GenerateTorture(&db, spec);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  EXPECT_EQ(testing::RunCount(&db, inst.value().sql, opts), 0);
+  bench::CleanupTorture(&db, inst.value());
+  EXPECT_EQ(db.catalog()->FindTable(inst.value().table_names[0]), nullptr);
+}
+
+TEST(TortureGenTest, UdfStarEnginesAgree) {
+  Database db;
+  TortureSpec spec;
+  spec.mode = TortureMode::kUdf;
+  spec.shape = TortureShape::kStar;
+  spec.num_tables = 4;
+  spec.rows_per_table = 15;
+  spec.good_position = 2;
+  auto inst = GenerateTorture(&db, spec);
+  ASSERT_TRUE(inst.ok());
+  ExecOptions a;
+  a.engine = EngineKind::kSkinnerC;
+  ExecOptions b;
+  b.engine = EngineKind::kVolcano;
+  EXPECT_EQ(testing::RunCount(&db, inst.value().sql, a),
+            testing::RunCount(&db, inst.value().sql, b));
+}
+
+TEST(TortureGenTest, CorrelatedChainEmptyAndBlindToEstimator) {
+  Database db;
+  TortureSpec spec;
+  spec.mode = TortureMode::kCorrelated;
+  spec.num_tables = 4;
+  spec.rows_per_table = 60;
+  spec.good_position = 1;
+  auto inst = GenerateTorture(&db, spec);
+  ASSERT_TRUE(inst.ok());
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  EXPECT_EQ(testing::RunCount(&db, inst.value().sql, opts), 0);
+}
+
+TEST(TortureGenTest, TrivialModeNonEmptyAndOrderIndependent) {
+  Database db;
+  TortureSpec spec;
+  spec.mode = TortureMode::kTrivial;
+  spec.num_tables = 3;
+  spec.rows_per_table = 25;
+  auto inst = GenerateTorture(&db, spec);
+  ASSERT_TRUE(inst.ok());
+  ExecOptions opts;
+  opts.engine = EngineKind::kVolcano;
+  // 1:1 chain joins on unique ids: exactly one row per id.
+  EXPECT_EQ(testing::RunCount(&db, inst.value().sql, opts), 25);
+}
+
+TEST(TpchGenTest, RowCountsScale) {
+  Database db;
+  bench::TpchSpec spec;
+  spec.scale_factor = 0.002;
+  ASSERT_TRUE(GenerateTpch(&db, spec).ok());
+  EXPECT_EQ(db.catalog()->FindTable("region")->num_rows(), 5);
+  EXPECT_EQ(db.catalog()->FindTable("nation")->num_rows(), 25);
+  EXPECT_EQ(db.catalog()->FindTable("supplier")->num_rows(), 20);
+  EXPECT_EQ(db.catalog()->FindTable("customer")->num_rows(), 300);
+  EXPECT_EQ(db.catalog()->FindTable("orders")->num_rows(), 3000);
+  int64_t li = db.catalog()->FindTable("lineitem")->num_rows();
+  EXPECT_GT(li, 3000);   // ~4 lines per order
+  EXPECT_LT(li, 22000);
+}
+
+TEST(TpchGenTest, CivilDateStrings) {
+  EXPECT_EQ(bench::CivilDateString(0), "1970-01-01");
+  EXPECT_EQ(bench::CivilDateString(31), "1970-02-01");
+  EXPECT_EQ(bench::CivilDateString(365), "1971-01-01");
+  EXPECT_EQ(bench::CivilDateString(8035), "1992-01-01");  // leap-aware
+  EXPECT_EQ(bench::CivilDateString(8035 + 366), "1993-01-01");  // 1992 leap
+}
+
+TEST(TpchGenTest, AllStandardQueriesRun) {
+  Database db;
+  bench::TpchSpec spec;
+  spec.scale_factor = 0.002;
+  ASSERT_TRUE(GenerateTpch(&db, spec).ok());
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  for (const auto& q : bench::TpchQueries()) {
+    auto out = db.Query(q.sql, opts);
+    EXPECT_TRUE(out.ok()) << q.name << ": " << out.status().ToString();
+  }
+}
+
+TEST(TpchGenTest, UdfVariantsMatchStandard) {
+  Database db;
+  bench::TpchSpec spec;
+  spec.scale_factor = 0.002;
+  ASSERT_TRUE(GenerateTpch(&db, spec).ok());
+  ASSERT_TRUE(bench::RegisterTpchUdfs(&db).ok());
+  auto std_queries = bench::TpchQueries();
+  auto udf_queries = bench::TpchUdfQueries();
+  ASSERT_EQ(std_queries.size(), udf_queries.size());
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  for (size_t i = 0; i < std_queries.size(); ++i) {
+    auto a = db.Query(std_queries[i].sql, opts);
+    auto b = db.Query(udf_queries[i].sql, opts);
+    ASSERT_TRUE(a.ok()) << std_queries[i].name;
+    ASSERT_TRUE(b.ok()) << udf_queries[i].name << b.status().ToString();
+    // Semantically equivalent predicates => identical results.
+    EXPECT_EQ(testing::CanonicalRows(a.value().result),
+              testing::CanonicalRows(b.value().result))
+        << std_queries[i].name;
+  }
+}
+
+TEST(JobGenTest, SchemaAndQueriesRun) {
+  Database db;
+  bench::JobSpec spec;
+  spec.num_titles = 300;
+  ASSERT_TRUE(GenerateJob(&db, spec).ok());
+  EXPECT_EQ(db.catalog()->FindTable("title")->num_rows(), 300);
+  EXPECT_NE(db.catalog()->FindTable("cast_info"), nullptr);
+  bench::JobWorkload w = JobQueries();
+  ASSERT_EQ(w.queries.size(), 33u);
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  opts.deadline = 50'000'000;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    auto out = db.Query(w.queries[i], opts);
+    EXPECT_TRUE(out.ok()) << w.names[i] << ": " << out.status().ToString();
+  }
+}
+
+TEST(JobGenTest, CorrelationPlanted) {
+  // The blockbuster keyword must co-occur with genre action far more often
+  // than independence predicts.
+  Database db;
+  bench::JobSpec spec;
+  spec.num_titles = 2000;
+  ASSERT_TRUE(GenerateJob(&db, spec).ok());
+  ExecOptions opts;
+  auto bb = db.Query(
+      "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE "
+      "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+      "k.keyword = 'blockbuster'",
+      opts);
+  auto bb_action = db.Query(
+      "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, "
+      "movie_info mi, info_type it WHERE t.id = mk.movie_id AND "
+      "mk.keyword_id = k.id AND t.id = mi.movie_id AND "
+      "mi.info_type_id = it.id AND k.keyword = 'blockbuster' AND "
+      "it.info = 'genre' AND mi.info = 'action'",
+      opts);
+  ASSERT_TRUE(bb.ok() && bb_action.ok());
+  double n_bb = static_cast<double>(bb.value().result.rows[0][0].AsInt());
+  double n_both =
+      static_cast<double>(bb_action.value().result.rows[0][0].AsInt());
+  ASSERT_GT(n_bb, 0);
+  // Under independence (genre uniform over 8) this ratio would be ~1/8 of
+  // blockbuster rows x 3 info rows; with the planted correlation the
+  // action fraction among blockbusters is ~0.85.
+  EXPECT_GT(n_both / n_bb, 0.5);
+}
+
+TEST(RunnerTest, FormatCount) {
+  EXPECT_EQ(bench::FormatCount(999), "999");
+  EXPECT_EQ(bench::FormatCount(25'000), "25.0K");
+  EXPECT_EQ(bench::FormatCount(13'000'000), "13.0M");
+  EXPECT_EQ(bench::FormatCount(12'300'000'000ull), "12.3G");
+}
+
+TEST(RunnerTest, RunQueryCollectsStats) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ExecOptions opts;
+  bench::RunResult r = bench::RunQuery(&db, "q", "SELECT COUNT(*) FROM t", opts);
+  EXPECT_FALSE(r.error);
+  EXPECT_EQ(r.result_rows, 1u);
+  EXPECT_GT(r.cost, 0u);
+  bench::RunResult bad = bench::RunQuery(&db, "bad", "SELECT nope FROM t", opts);
+  EXPECT_TRUE(bad.error);
+}
+
+}  // namespace
+}  // namespace skinner

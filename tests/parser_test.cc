@@ -1,0 +1,159 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+Statement MustParse(const std::string& sql) {
+  auto r = ParseSql(sql);
+  EXPECT_TRUE(r.ok()) << sql << " => " << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(ParserTest, MinimalSelect) {
+  Statement s = MustParse("SELECT * FROM t");
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  EXPECT_TRUE(s.select->select[0].is_star);
+  ASSERT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0].table_name, "t");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  Statement s = MustParse("SELECT a.x AS y, b.z w FROM t a, u b");
+  EXPECT_EQ(s.select->select[0].alias, "y");
+  EXPECT_EQ(s.select->select[1].alias, "w");
+  EXPECT_EQ(s.select->from[0].alias, "a");
+  EXPECT_EQ(s.select->from[1].alias, "b");
+}
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  Statement s = MustParse(
+      "SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y "
+      "WHERE a.z > 1");
+  EXPECT_EQ(s.select->from.size(), 3u);
+  ASSERT_NE(s.select->where, nullptr);
+  // where must be a conjunction of three conditions.
+  std::vector<Expr*> conjuncts;
+  SplitConjuncts(s.select->where.get(), &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Statement s = MustParse("SELECT 1 + 2 * 3 FROM t");
+  const Expr& e = *s.select->select[0].expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinaryOp);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  Statement s = MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  const Expr& e = *s.select->where;
+  EXPECT_EQ(e.bin_op, BinOp::kOr);  // AND binds tighter
+  EXPECT_EQ(e.children[1]->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  Statement s = MustParse("SELECT * FROM t WHERE x BETWEEN 1 AND 5");
+  const Expr& e = *s.select->where;
+  EXPECT_EQ(e.bin_op, BinOp::kAnd);
+  EXPECT_EQ(e.children[0]->bin_op, BinOp::kGe);
+  EXPECT_EQ(e.children[1]->bin_op, BinOp::kLe);
+}
+
+TEST(ParserTest, InDesugarsToOrChain) {
+  Statement s = MustParse("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  std::vector<Expr*> conjuncts;
+  SplitConjuncts(s.select->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 1u);
+  EXPECT_EQ(conjuncts[0]->bin_op, BinOp::kOr);
+}
+
+TEST(ParserTest, NotLikeAndIsNull) {
+  Statement s = MustParse(
+      "SELECT * FROM t WHERE a NOT LIKE 'x%' AND b IS NULL AND c IS NOT NULL");
+  std::vector<Expr*> conjuncts;
+  SplitConjuncts(s.select->where.get(), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind, ExprKind::kUnaryOp);
+  EXPECT_EQ(conjuncts[0]->un_op, UnOp::kNot);
+  EXPECT_EQ(conjuncts[1]->un_op, UnOp::kIsNull);
+  EXPECT_EQ(conjuncts[2]->un_op, UnOp::kIsNotNull);
+}
+
+TEST(ParserTest, Aggregates) {
+  Statement s = MustParse(
+      "SELECT COUNT(*), SUM(x), MIN(y), MAX(y), AVG(z) FROM t");
+  EXPECT_EQ(s.select->select[0].expr->agg, AggKind::kCountStar);
+  EXPECT_EQ(s.select->select[1].expr->agg, AggKind::kSum);
+  EXPECT_EQ(s.select->select[2].expr->agg, AggKind::kMin);
+  EXPECT_EQ(s.select->select[3].expr->agg, AggKind::kMax);
+  EXPECT_EQ(s.select->select[4].expr->agg, AggKind::kAvg);
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  Statement s = MustParse(
+      "SELECT x, COUNT(*) FROM t GROUP BY x ORDER BY 2 DESC, x ASC LIMIT 10");
+  EXPECT_EQ(s.select->group_by.size(), 1u);
+  ASSERT_EQ(s.select->order_by.size(), 2u);
+  EXPECT_TRUE(s.select->order_by[0].desc);
+  EXPECT_FALSE(s.select->order_by[1].desc);
+  EXPECT_EQ(s.select->limit, 10);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  Statement s = MustParse("SELECT my_udf(a, 1, 'x') FROM t");
+  const Expr& e = *s.select->select[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(e.func_name, "my_udf");
+  EXPECT_EQ(e.children.size(), 3u);
+}
+
+TEST(ParserTest, DistinctFlag) {
+  EXPECT_TRUE(MustParse("SELECT DISTINCT x FROM t").select->distinct);
+  EXPECT_FALSE(MustParse("SELECT x FROM t").select->distinct);
+}
+
+TEST(ParserTest, CreateTable) {
+  Statement s = MustParse(
+      "CREATE TABLE t (a INT, b DOUBLE, c STRING, d VARCHAR(25), e TEXT)");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(s.create->columns.size(), 5u);
+  EXPECT_EQ(s.create->columns[0].type, DataType::kInt64);
+  EXPECT_EQ(s.create->columns[1].type, DataType::kDouble);
+  EXPECT_EQ(s.create->columns[2].type, DataType::kString);
+  EXPECT_EQ(s.create->columns[3].type, DataType::kString);
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  Statement s = MustParse("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  ASSERT_EQ(s.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s.insert->rows.size(), 2u);
+  EXPECT_EQ(s.insert->rows[0].size(), 2u);
+}
+
+TEST(ParserTest, DropTable) {
+  Statement s = MustParse("DROP TABLE t;");
+  ASSERT_EQ(s.kind, Statement::Kind::kDropTable);
+  EXPECT_EQ(s.drop->name, "t");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t trailing junk !").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a BOGUSTYPE)").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+}
+
+TEST(ParserTest, NegativeNumbersAndUnaryMinus) {
+  Statement s = MustParse("SELECT -x, 0 - 5 FROM t WHERE y > -3");
+  EXPECT_EQ(s.select->select[0].expr->kind, ExprKind::kUnaryOp);
+  EXPECT_EQ(s.select->select[0].expr->un_op, UnOp::kNeg);
+}
+
+}  // namespace
+}  // namespace skinner

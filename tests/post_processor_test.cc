@@ -1,0 +1,154 @@
+#include "post/post_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+
+namespace skinner {
+namespace {
+
+// Post-processing is exercised through the API for realistic plumbing.
+class PostProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE s (g STRING, x INT, y DOUBLE)").ok());
+    ASSERT_TRUE(db_.Execute(
+                      "INSERT INTO s VALUES "
+                      "('a', 1, 1.5), ('a', 2, 2.5), ('b', 3, 0.5), "
+                      "('b', 4, 4.0), ('c', 5, 2.0), ('a', NULL, 3.5)")
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(PostProcessorTest, ScalarAggregates) {
+  auto out = db_.Query(
+      "SELECT COUNT(*), COUNT(x), SUM(x), AVG(x), MIN(x), MAX(x) FROM s");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const auto& row = out.value().result.rows[0];
+  EXPECT_EQ(row[0].AsInt(), 6);   // COUNT(*) counts NULL rows
+  EXPECT_EQ(row[1].AsInt(), 5);   // COUNT(x) skips NULL
+  EXPECT_EQ(row[2].AsInt(), 15);
+  EXPECT_DOUBLE_EQ(row[3].AsDouble(), 3.0);
+  EXPECT_EQ(row[4].AsInt(), 1);
+  EXPECT_EQ(row[5].AsInt(), 5);
+}
+
+TEST_F(PostProcessorTest, EmptyInputAggregates) {
+  auto out = db_.Query(
+      "SELECT COUNT(*), SUM(x), MIN(x), AVG(x) FROM s WHERE x > 100");
+  ASSERT_TRUE(out.ok());
+  const auto& row = out.value().result.rows[0];
+  EXPECT_EQ(row[0].AsInt(), 0);
+  EXPECT_TRUE(row[1].is_null());
+  EXPECT_TRUE(row[2].is_null());
+  EXPECT_TRUE(row[3].is_null());
+}
+
+TEST_F(PostProcessorTest, GroupByWithNullGroups) {
+  auto out = db_.Query(
+      "SELECT g, COUNT(x) FROM s GROUP BY g ORDER BY g");
+  ASSERT_TRUE(out.ok());
+  const auto& rows = out.value().result.rows;
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsString(), "a");
+  EXPECT_EQ(rows[0][1].AsInt(), 2);  // NULL x not counted
+  EXPECT_EQ(rows[1][0].AsString(), "b");
+  EXPECT_EQ(rows[1][1].AsInt(), 2);
+}
+
+TEST_F(PostProcessorTest, ArithmeticOverAggregates) {
+  auto out = db_.Query("SELECT SUM(x) + COUNT(*) * 10 FROM s");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().result.rows[0][0].AsInt(), 75);
+}
+
+TEST_F(PostProcessorTest, OrderByMultipleKeysAndDirections) {
+  auto out = db_.Query("SELECT g, x FROM s WHERE x IS NOT NULL "
+                       "ORDER BY g DESC, x ASC");
+  ASSERT_TRUE(out.ok());
+  const auto& rows = out.value().result.rows;
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].AsString(), "c");
+  EXPECT_EQ(rows[1][0].AsString(), "b");
+  EXPECT_EQ(rows[1][1].AsInt(), 3);
+  EXPECT_EQ(rows[2][1].AsInt(), 4);
+  EXPECT_EQ(rows[4][0].AsString(), "a");
+}
+
+TEST_F(PostProcessorTest, NullsSortLastAscending) {
+  auto out = db_.Query("SELECT x FROM s ORDER BY x");
+  ASSERT_TRUE(out.ok());
+  const auto& rows = out.value().result.rows;
+  EXPECT_TRUE(rows.back()[0].is_null());
+  EXPECT_EQ(rows.front()[0].AsInt(), 1);
+}
+
+TEST_F(PostProcessorTest, OrderByAggregate) {
+  auto out = db_.Query(
+      "SELECT g, SUM(y) FROM s GROUP BY g ORDER BY 2 DESC");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const auto& rows = out.value().result.rows;
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsString(), "a");  // 7.5
+  EXPECT_EQ(rows[1][0].AsString(), "b");  // 4.5
+  EXPECT_EQ(rows[2][0].AsString(), "c");  // 2.0
+}
+
+TEST_F(PostProcessorTest, LimitTruncates) {
+  auto out = db_.Query("SELECT x FROM s WHERE x IS NOT NULL ORDER BY x LIMIT 2");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().result.rows.size(), 2u);
+  EXPECT_EQ(out.value().result.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(PostProcessorTest, DistinctNormalizesNumerics) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE n (v DOUBLE)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO n VALUES (1.0), (1.0), (2.0)").ok());
+  auto out = db_.Query("SELECT DISTINCT v FROM n ORDER BY v");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().result.rows.size(), 2u);
+}
+
+TEST_F(PostProcessorTest, ColumnLabels) {
+  auto out = db_.Query("SELECT g AS grp, SUM(x) total FROM s GROUP BY g");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().result.column_names[0], "grp");
+  EXPECT_EQ(out.value().result.column_names[1], "total");
+}
+
+TEST(AggAccumulatorTest, MinMaxOnStrings) {
+  AggAccumulator mn(AggKind::kMin);
+  AggAccumulator mx(AggKind::kMax);
+  for (const char* s : {"pear", "apple", "zebra"}) {
+    mn.Add(Value::String(s));
+    mx.Add(Value::String(s));
+  }
+  EXPECT_EQ(mn.Finish().AsString(), "apple");
+  EXPECT_EQ(mx.Finish().AsString(), "zebra");
+}
+
+TEST(AggAccumulatorTest, SumStaysIntegerForInts) {
+  AggAccumulator sum(AggKind::kSum);
+  sum.Add(Value::Int(2));
+  sum.Add(Value::Int(3));
+  Value v = sum.Finish();
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt(), 5);
+  sum.Add(Value::Double(0.5));
+  EXPECT_EQ(sum.Finish().type(), DataType::kDouble);
+}
+
+TEST(SerializeValueKeyTest, DistinguishesTypesAndValues) {
+  std::string a, b, c, d;
+  SerializeValueKey(Value::Int(1), &a);
+  SerializeValueKey(Value::Double(1.0), &b);
+  SerializeValueKey(Value::String("1"), &c);
+  SerializeValueKey(Value::Null(), &d);
+  EXPECT_EQ(a, b);  // numerics normalize
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+}  // namespace
+}  // namespace skinner

@@ -1,0 +1,117 @@
+#include "skinner/progress.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+JoinState State(int depth, std::vector<int64_t> pos) {
+  JoinState s;
+  s.depth = depth;
+  s.pos = std::move(pos);
+  return s;
+}
+
+TEST(ProgressTreeTest, EmptyRestoreFails) {
+  ProgressTree tree(3);
+  JoinState s;
+  EXPECT_FALSE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(ProgressTreeTest, ExactBackupRestore) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(2, {5, 3, 7}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.pos[0], 5);
+  EXPECT_EQ(s.pos[1], 3);
+  EXPECT_EQ(s.pos[2], 7);
+}
+
+TEST(ProgressTreeTest, PartialDepthBackup) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(1, {5, 3, -1}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(s.depth, 1);
+  EXPECT_EQ(s.pos[0], 5);
+  EXPECT_EQ(s.pos[1], 3);
+}
+
+TEST(ProgressTreeTest, SharedPrefixFastForward) {
+  // Order A got far; order B shares the first two tables and should
+  // resume from A's frontier at the shared prefix.
+  ProgressTree tree(4);
+  tree.Backup({0, 1, 2, 3}, State(3, {9, 4, 2, 6}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 3, 2}, &s));
+  EXPECT_EQ(s.depth, 1);   // prefix [0,1] shared
+  EXPECT_EQ(s.pos[0], 9);
+  EXPECT_EQ(s.pos[1], 4);
+}
+
+TEST(ProgressTreeTest, PrefixFrontierKeepsLexMax) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(2, {3, 8, 1}));
+  tree.Backup({0, 1, 2}, State(2, {5, 0, 0}));  // lex-greater at depth 0
+  tree.Backup({0, 1, 2}, State(2, {4, 9, 9}));  // lex-smaller: ignored
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(s.pos[0], 5);
+  EXPECT_EQ(s.pos[1], 0);
+}
+
+TEST(ProgressTreeTest, DivergentOrdersDoNotInterfere) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(2, {5, 5, 5}));
+  tree.Backup({1, 0, 2}, State(2, {2, 2, 2}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({1, 0, 2}, &s));
+  EXPECT_EQ(s.pos[0], 2);  // not contaminated by the other order
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(s.pos[0], 5);
+}
+
+TEST(ProgressTreeTest, LongerFrontierWinsTies) {
+  ProgressTree tree(3);
+  // Same positions at shared depths; the deeper state carries more info.
+  tree.Backup({0, 1, 2}, State(0, {7, -1, -1}));
+  tree.Backup({0, 1, 2}, State(2, {7, 3, 2}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.pos[1], 3);
+}
+
+TEST(ProgressTreeTest, NodeCountGrowsPerPrefix) {
+  ProgressTree tree(3);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  tree.Backup({0, 1, 2}, State(2, {1, 1, 1}));
+  EXPECT_EQ(tree.num_nodes(), 4u);  // root + 3 path nodes
+  tree.Backup({0, 1, 2}, State(2, {2, 2, 2}));
+  EXPECT_EQ(tree.num_nodes(), 4u);  // same path reused
+  tree.Backup({0, 2, 1}, State(2, {1, 1, 1}));
+  EXPECT_EQ(tree.num_nodes(), 6u);  // shares node {0}
+}
+
+TEST(ProgressTreeTest, RestoreFromUnrelatedOrderFails) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(2, {1, 1, 1}));
+  JoinState s;
+  EXPECT_FALSE(tree.Restore({2, 1, 0}, &s));  // no shared first table
+}
+
+TEST(ProgressTreeTest, ExactStatePreferredOverShallowFrontier) {
+  ProgressTree tree(3);
+  tree.Backup({0, 1, 2}, State(2, {5, 3, 7}));
+  JoinState s;
+  ASSERT_TRUE(tree.Restore({0, 1, 2}, &s));
+  // Exact state at depth 2 wins over the depth-0/1 frontiers (all from the
+  // same backup, so lex order ties at each prefix).
+  EXPECT_EQ(s.depth, 2);
+}
+
+}  // namespace
+}  // namespace skinner

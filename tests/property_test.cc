@@ -1,0 +1,164 @@
+// Cross-engine correctness property tests (paper Theorems 5.1-5.3): every
+// execution strategy must return exactly the result of a brute-force
+// evaluation of the query, on randomized schemas, data (with NULLs and
+// skew) and query shapes.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+using ::skinner::testing::BruteForceCount;
+using ::skinner::testing::BuildRandomDb;
+using ::skinner::testing::RandomCountQuery;
+using ::skinner::testing::RandomDbSpec;
+using ::skinner::testing::RunCount;
+
+struct EngineConfig {
+  const char* label;
+  ExecOptions opts;
+};
+
+std::vector<EngineConfig> AllEngineConfigs() {
+  std::vector<EngineConfig> configs;
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    configs.push_back({"SkinnerC", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    o.slice_budget = 7;  // extreme order-switching stresses progress sharing
+    configs.push_back({"SkinnerC_b7", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    o.reward = RewardKind::kLeftmostFraction;
+    configs.push_back({"SkinnerC_leftmost", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    o.build_hash_indexes = false;  // pure scan mode
+    configs.push_back({"SkinnerC_noindex", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kRandomOrder;
+    o.slice_budget = 13;
+    configs.push_back({"Random_b13", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerG;
+    o.batches_per_table = 3;
+    o.timeout_unit = 50;  // tiny timeouts force many failed iterations
+    configs.push_back({"SkinnerG_small", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerG;
+    o.generic_engine = GenericEngineKind::kBlock;
+    configs.push_back({"SkinnerG_block", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerH;
+    o.timeout_unit = 100;
+    configs.push_back({"SkinnerH", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kVolcano;
+    configs.push_back({"Volcano", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kBlock;
+    configs.push_back({"Block", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kEddy;
+    configs.push_back({"Eddy", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kReopt;
+    configs.push_back({"Reopt", o});
+  }
+  return configs;
+}
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyTest, AllEnginesMatchBruteForce) {
+  const uint64_t seed = GetParam();
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = seed;
+  spec.num_tables = 5;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+
+  Rng rng(seed * 77 + 13);
+  for (int q = 0; q < 6; ++q) {
+    std::string sql = RandomCountQuery(&rng, tables);
+    auto bound = db.Bind(sql);
+    ASSERT_TRUE(bound.ok()) << sql << "\n" << bound.status().ToString();
+    int64_t expected = BruteForceCount(&db, *bound.value());
+    for (const EngineConfig& config : AllEngineConfigs()) {
+      ExecOptions opts = config.opts;
+      opts.seed = seed + static_cast<uint64_t>(q);
+      int64_t actual = RunCount(&db, sql, opts);
+      EXPECT_EQ(actual, expected)
+          << "engine=" << config.label << " seed=" << seed << "\n  " << sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Larger tables, joins with skew: Skinner variants against the (simpler)
+// Volcano engine as reference, since brute force is too slow here.
+class MediumPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MediumPropertyTest, SkinnerVariantsMatchVolcano) {
+  const uint64_t seed = GetParam();
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = seed;
+  spec.num_tables = 5;
+  spec.min_rows = 40;
+  spec.max_rows = 120;
+  spec.key_domain = 12;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+
+  Rng rng(seed * 1009 + 7);
+  for (int q = 0; q < 4; ++q) {
+    std::string sql = RandomCountQuery(&rng, tables);
+    ExecOptions ref;
+    ref.engine = EngineKind::kVolcano;
+    int64_t expected = RunCount(&db, sql, ref);
+    ASSERT_GE(expected, 0) << sql;
+    for (const EngineConfig& config : AllEngineConfigs()) {
+      ExecOptions opts = config.opts;
+      opts.seed = seed * 31 + static_cast<uint64_t>(q);
+      int64_t actual = RunCount(&db, sql, opts);
+      EXPECT_EQ(actual, expected)
+          << "engine=" << config.label << " seed=" << seed << "\n  " << sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MediumPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace skinner

@@ -1,0 +1,182 @@
+// Property tests for the paper's formal claims (Section 5), phrased as
+// measurable bounds on the implementation:
+//  - Skinner-C's total execution effort stays within a small factor of
+//    executing the true-C_out-optimal join order directly (Thm 5.9/5.10
+//    flavor: the ratio bound is polynomial in query size; empirically the
+//    paper finds it far smaller).
+//  - Skinner-H's effort is within a constant factor of the traditional
+//    plan when the optimizer is good (Thm 5.8).
+//  - More slices never break correctness and converge to the same result
+//    (parameterized over slice budgets).
+
+#include <gtest/gtest.h>
+
+#include "optimizer/true_cardinality.h"
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+using ::skinner::testing::BuildRandomDb;
+using ::skinner::testing::RandomCountQuery;
+using ::skinner::testing::RandomDbSpec;
+using ::skinner::testing::RunCount;
+
+class RegretTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegretTest, SkinnerCWithinFactorOfOptimalOrder) {
+  const uint64_t seed = GetParam();
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = seed;
+  spec.num_tables = 5;
+  spec.min_rows = 60;
+  spec.max_rows = 200;
+  spec.key_domain = 10;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+
+  Rng rng(seed * 131 + 3);
+  for (int q = 0; q < 3; ++q) {
+    std::string sql = RandomCountQuery(&rng, tables);
+    auto bound = db.Bind(sql);
+    ASSERT_TRUE(bound.ok());
+    const int m = bound.value()->num_tables();
+
+    // Optimal-order cost: run the true-C_out-best left-deep order.
+    auto info = QueryInfo::Analyze(*bound.value());
+    std::vector<int> optimal_order;
+    {
+      VirtualClock oracle_clock;
+      auto pq = PreparedQuery::Prepare(bound.value().get(), &info.value(),
+                                       db.catalog()->string_pool(),
+                                       &oracle_clock, {});
+      ASSERT_TRUE(pq.ok());
+      TrueCardinalityOracle oracle(pq.value().get());
+      optimal_order = oracle.OptimalOrder().order;
+    }
+    ExecOptions opt_run;
+    opt_run.engine = EngineKind::kVolcano;
+    opt_run.forced_order = optimal_order;
+    auto optimal = db.RunSelect(*bound.value(), opt_run);
+    ASSERT_TRUE(optimal.ok());
+    uint64_t optimal_cost = optimal.value().stats.total_cost;
+
+    ExecOptions skinner_run;
+    skinner_run.engine = EngineKind::kSkinnerC;
+    skinner_run.seed = seed;
+    auto skinner = db.RunSelect(*bound.value(), skinner_run);
+    ASSERT_TRUE(skinner.ok());
+    uint64_t skinner_cost = skinner.value().stats.total_cost;
+
+    // Results agree.
+    EXPECT_EQ(skinner.value().result.rows[0][0].AsInt(),
+              optimal.value().result.rows[0][0].AsInt());
+    // Thm 5.10 bounds the ratio by m asymptotically; grant constant slack
+    // for learning overhead at this scale (the paper, too, observes the
+    // formal bound to be pessimistic in practice).
+    double ratio = static_cast<double>(skinner_cost) /
+                   std::max<double>(1.0, static_cast<double>(optimal_cost));
+    EXPECT_LT(ratio, 3.0 * m) << sql << "\n  skinner=" << skinner_cost
+                              << " optimal=" << optimal_cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegretTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+class SliceBudgetSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SliceBudgetSweep, BudgetDoesNotAffectResult) {
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = 99;
+  spec.num_tables = 5;
+  spec.min_rows = 30;
+  spec.max_rows = 60;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+  Rng rng(7);
+  std::string sql = RandomCountQuery(&rng, tables);
+
+  ExecOptions reference;
+  reference.engine = EngineKind::kVolcano;
+  int64_t expected = RunCount(&db, sql, reference);
+
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  opts.slice_budget = GetParam();
+  EXPECT_EQ(RunCount(&db, sql, opts), expected) << "budget=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SliceBudgetSweep,
+                         ::testing::Values(1, 2, 5, 17, 100, 500, 10'000,
+                                           1'000'000));
+
+class RewardSweep
+    : public ::testing::TestWithParam<std::tuple<RewardKind, double>> {};
+
+TEST_P(RewardSweep, RewardAndWeightDoNotAffectResult) {
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = 101;
+  spec.num_tables = 4;
+  spec.min_rows = 20;
+  spec.max_rows = 50;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+  Rng rng(13);
+  std::string sql = RandomCountQuery(&rng, tables);
+
+  ExecOptions reference;
+  reference.engine = EngineKind::kVolcano;
+  int64_t expected = RunCount(&db, sql, reference);
+
+  ExecOptions opts;
+  opts.engine = EngineKind::kSkinnerC;
+  opts.reward = std::get<0>(GetParam());
+  opts.uct_weight_c = std::get<1>(GetParam());
+  opts.slice_budget = 11;
+  EXPECT_EQ(RunCount(&db, sql, opts), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Config, RewardSweep,
+    ::testing::Combine(::testing::Values(RewardKind::kWeightedProgress,
+                                         RewardKind::kLeftmostFraction),
+                       ::testing::Values(1e-6, 0.1, 1.4142135623730951)));
+
+TEST(RegretHybridTest, HybridWithinConstantFactorOfGoodPlan) {
+  // Theorem 5.8: Skinner-H's regret vs a good traditional plan is bounded
+  // (total time <= 5x the plan's own time in the paper's accounting).
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = 55;
+  spec.num_tables = 4;
+  spec.min_rows = 100;
+  spec.max_rows = 200;
+  spec.key_domain = 8;
+  std::vector<std::string> tables;
+  ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+  Rng rng(5);
+  for (int q = 0; q < 4; ++q) {
+    std::string sql = RandomCountQuery(&rng, tables);
+    ExecOptions direct;
+    direct.engine = EngineKind::kVolcano;
+    auto d = db.Query(sql, direct);
+    ASSERT_TRUE(d.ok());
+    uint64_t direct_cost = d.value().stats.total_cost;
+
+    ExecOptions hybrid;
+    hybrid.engine = EngineKind::kSkinnerH;
+    hybrid.timeout_unit = std::max<uint64_t>(16, direct_cost / 16);
+    auto h = db.Query(sql, hybrid);
+    ASSERT_TRUE(h.ok());
+    EXPECT_LE(h.value().stats.total_cost,
+              direct_cost * 6 + 20 * hybrid.timeout_unit)
+        << sql;
+  }
+}
+
+}  // namespace
+}  // namespace skinner

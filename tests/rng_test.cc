@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);  // roughly uniform
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(100, 0.9);
+    ASSERT_LT(v, 100u);
+    counts[static_cast<size_t>(v)]++;
+  }
+  // With skew, low ranks must be much more frequent than high ranks.
+  int low = counts[0] + counts[1] + counts[2] + counts[3] + counts[4];
+  int high = counts[95] + counts[96] + counts[97] + counts[98] + counts[99];
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfZeroSkewCoversDomain) {
+  Rng rng(19);
+  std::vector<bool> seen(10, false);
+  for (int i = 0; i < 5000; ++i) seen[rng.Zipf(10, 0.0)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace skinner

@@ -1,0 +1,186 @@
+#include "skinner/skinner_c.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+class SkinnerCTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = catalog_.CreateTable("a", Schema({{"k", DataType::kInt64}}));
+    auto b = catalog_.CreateTable("b", Schema({{"k", DataType::kInt64}}));
+    auto c = catalog_.CreateTable("c", Schema({{"k", DataType::kInt64}}));
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    for (int i = 0; i < 12; ++i) {
+      a.value()->mutable_column(0)->AppendInt(i % 4);
+      a.value()->CommitRow();
+    }
+    for (int i = 0; i < 9; ++i) {
+      b.value()->mutable_column(0)->AppendInt(i % 3);
+      b.value()->CommitRow();
+    }
+    for (int i = 0; i < 6; ++i) {
+      c.value()->mutable_column(0)->AppendInt(i % 3);
+      c.value()->CommitRow();
+    }
+  }
+
+  void Prepare(const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto q = BindSelect(stmt.value().select.get(), &catalog_, &udfs_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::make_unique<BoundQuery>(q.MoveValue());
+    info_ = std::make_unique<QueryInfo>(QueryInfo::Analyze(*query_).MoveValue());
+    auto pq = PreparedQuery::Prepare(query_.get(), info_.get(),
+                                     catalog_.string_pool(), &clock_, {});
+    ASSERT_TRUE(pq.ok());
+    pq_ = pq.MoveValue();
+  }
+
+  // a.k = b.k (k<3 matched): a has 3 rows per k in 0..2 plus k=3; b 3 per k;
+  // expected |a ⋈ b| on k: for k in 0..2: 3*3 = 9 -> 27.
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  VirtualClock clock_;
+  std::unique_ptr<BoundQuery> query_;
+  std::unique_ptr<QueryInfo> info_;
+  std::unique_ptr<PreparedQuery> pq_;
+};
+
+TEST_F(SkinnerCTest, CompletesSmallJoin) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerCOptions opts;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 27u);
+  EXPECT_FALSE(engine.stats().timed_out);
+  EXPECT_GT(engine.stats().slices, 0u);
+}
+
+TEST_F(SkinnerCTest, TinyBudgetManySlicesStillCorrect) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.slice_budget = 3;  // extreme: forces constant order switching
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 54u);  // k in 0..2: 3*3*2 = 18 each
+  EXPECT_GT(engine.stats().slices, 5u);
+}
+
+TEST_F(SkinnerCTest, NoDuplicateTuples) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerCOptions opts;
+  opts.slice_budget = 2;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  EXPECT_EQ(out.size(), 27u);
+}
+
+TEST_F(SkinnerCTest, TriviallyEmptyQuery) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k > 100");
+  SkinnerCOptions opts;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(engine.stats().slices, 0u);
+}
+
+TEST_F(SkinnerCTest, DeadlineMarksTimeout) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.deadline = clock_.now() + 10;
+  opts.slice_budget = 4;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_TRUE(engine.stats().timed_out);
+}
+
+TEST_F(SkinnerCTest, StatsArePopulated) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.slice_budget = 5;
+  opts.collect_trace = true;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  const SkinnerCStats& s = engine.stats();
+  EXPECT_GT(s.uct_nodes, 0u);
+  EXPECT_GT(s.intermediate_tuples, 0u);
+  EXPECT_EQ(s.result_tuples, out.size());
+  EXPECT_EQ(s.final_order.size(), 3u);
+  EXPECT_FALSE(s.order_selections.empty());
+  EXPECT_FALSE(s.tree_growth.empty());
+  EXPECT_GT(s.auxiliary_bytes, 0u);
+}
+
+TEST_F(SkinnerCTest, RandomPolicyCorrect) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.policy = SelectionPolicy::kRandom;
+  opts.slice_budget = 6;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 54u);
+}
+
+TEST_F(SkinnerCTest, LeftmostFractionRewardCorrect) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.reward = RewardKind::kLeftmostFraction;
+  opts.slice_budget = 9;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 54u);
+}
+
+TEST_F(SkinnerCTest, SingleTableQuery) {
+  Prepare("SELECT COUNT(*) FROM a WHERE a.k < 2");
+  SkinnerCOptions opts;
+  SkinnerCEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 6u);
+}
+
+// The budget-vs-slice-count relationship from the paper: smaller budgets
+// mean more slices for the same query.
+TEST_F(SkinnerCTest, SmallerBudgetMoreSlices) {
+  uint64_t slices_small;
+  uint64_t slices_large;
+  {
+    Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+    SkinnerCOptions opts;
+    opts.slice_budget = 5;
+    SkinnerCEngine engine(pq_.get(), opts);
+    std::vector<PosTuple> out;
+    ASSERT_TRUE(engine.Run(&out).ok());
+    slices_small = engine.stats().slices;
+  }
+  {
+    Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+    SkinnerCOptions opts;
+    opts.slice_budget = 100000;
+    SkinnerCEngine engine(pq_.get(), opts);
+    std::vector<PosTuple> out;
+    ASSERT_TRUE(engine.Run(&out).ok());
+    slices_large = engine.stats().slices;
+  }
+  EXPECT_GT(slices_small, slices_large);
+}
+
+}  // namespace
+}  // namespace skinner

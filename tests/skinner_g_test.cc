@@ -1,0 +1,155 @@
+#include "skinner/skinner_g.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace skinner {
+namespace {
+
+class SkinnerGTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = catalog_.CreateTable("a", Schema({{"k", DataType::kInt64}}));
+    auto b = catalog_.CreateTable("b", Schema({{"k", DataType::kInt64}}));
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (int i = 0; i < 30; ++i) {
+      a.value()->mutable_column(0)->AppendInt(i % 5);
+      a.value()->CommitRow();
+    }
+    for (int i = 0; i < 20; ++i) {
+      b.value()->mutable_column(0)->AppendInt(i % 5);
+      b.value()->CommitRow();
+    }
+  }
+
+  void Prepare(const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto q = BindSelect(stmt.value().select.get(), &catalog_, &udfs_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::make_unique<BoundQuery>(q.MoveValue());
+    info_ = std::make_unique<QueryInfo>(QueryInfo::Analyze(*query_).MoveValue());
+    auto pq = PreparedQuery::Prepare(query_.get(), info_.get(),
+                                     catalog_.string_pool(), &clock_, {});
+    ASSERT_TRUE(pq.ok());
+    pq_ = pq.MoveValue();
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  VirtualClock clock_;
+  std::unique_ptr<BoundQuery> query_;
+  std::unique_ptr<QueryInfo> info_;
+  std::unique_ptr<PreparedQuery> pq_;
+};
+
+TEST_F(SkinnerGTest, CompletesAndCountsMatch) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 5;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_TRUE(engine.finished());
+  EXPECT_EQ(out.size(), 120u);  // 5 keys x 6 x 4
+}
+
+TEST_F(SkinnerGTest, NoDuplicatesAcrossBatches) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 7;
+  opts.timeout_unit = 100;  // many small iterations, many failures
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  EXPECT_EQ(out.size(), 120u);
+}
+
+TEST_F(SkinnerGTest, FailedIterationsEarnZeroReward) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 5;
+  opts.timeout_unit = 2;  // far too small: most iterations time out
+  opts.deadline = clock_.now() + 2'000'000;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  const SkinnerGStats& s = engine.stats();
+  EXPECT_GT(s.iterations, s.successes);
+  EXPECT_GT(s.max_level_used, 0);  // pyramid had to climb
+  if (engine.finished()) EXPECT_EQ(out.size(), 120u);
+}
+
+TEST_F(SkinnerGTest, MinPositionsTrackBatchRemoval) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 5;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<int64_t> before = engine.MinPositions();
+  EXPECT_EQ(before, (std::vector<int64_t>{0, 0}));
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  std::vector<int64_t> after = engine.MinPositions();
+  // Some table was fully consumed in batches.
+  bool any_full = after[0] >= pq_->cardinality(0) ||
+                  after[1] >= pq_->cardinality(1);
+  EXPECT_TRUE(any_full);
+}
+
+TEST_F(SkinnerGTest, RunUntilRespectsBudget) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 10;
+  opts.timeout_unit = 10;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  uint64_t until = clock_.now() + 50;
+  engine.RunUntil(until, &out);
+  // May overshoot by at most one iteration's timeout.
+  EXPECT_LE(clock_.now(), until + 64 * opts.timeout_unit);
+}
+
+TEST_F(SkinnerGTest, BlockEngineVariantAgrees) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.engine = GenericEngineKind::kBlock;
+  opts.batches_per_table = 4;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 120u);
+}
+
+TEST_F(SkinnerGTest, DeadlineStopsExecution) {
+  Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
+  SkinnerGOptions opts;
+  opts.deadline = clock_.now() + 20;
+  opts.timeout_unit = 5;
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_FALSE(engine.finished());
+  EXPECT_TRUE(engine.stats().timed_out);
+}
+
+TEST_F(SkinnerGTest, TinyTablesFewerBatches) {
+  auto c = catalog_.CreateTable("tiny", Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 2; ++i) {
+    c.value()->mutable_column(0)->AppendInt(i);
+    c.value()->CommitRow();
+  }
+  Prepare("SELECT COUNT(*) FROM a, tiny WHERE a.k = tiny.k");
+  SkinnerGOptions opts;
+  opts.batches_per_table = 10;  // > rows of tiny
+  SkinnerGEngine engine(pq_.get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 6u + 6u);  // k=0: 6 rows of a; k=1: 6 rows
+}
+
+}  // namespace
+}  // namespace skinner

@@ -1,0 +1,71 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower("123_x"), "123_x");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05d", 42), "00042");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(LikeMatchTest, ExactAndWildcards) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hell"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(LikeMatchTest, ConsecutivePercents) {
+  EXPECT_TRUE(LikeMatch("abc", "%%c"));
+  EXPECT_TRUE(LikeMatch("abc", "a%%"));
+  EXPECT_TRUE(LikeMatch("STANDARD BRASS", "%BRASS"));
+  EXPECT_FALSE(LikeMatch("STANDARD BRASSY", "%BRASS"));
+}
+
+TEST(LikeMatchTest, PathologicalBacktracking) {
+  // Many wildcards should still terminate (exponential-blowup guard).
+  EXPECT_TRUE(LikeMatch("aaaaaaaaaaaaaaaaaaab", "%a%a%a%a%b"));
+  EXPECT_FALSE(LikeMatch("aaaaaaaaaaaaaaaaaaaa", "%a%a%a%a%b"));
+}
+
+}  // namespace
+}  // namespace skinner

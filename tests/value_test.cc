@@ -1,0 +1,83 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.IsTrue());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -42.0);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+  EXPECT_EQ(v.ToString(), "2.5");
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v = Value::String("abc");
+  EXPECT_EQ(v.type(), DataType::kString);
+  EXPECT_EQ(v.AsString(), "abc");
+  EXPECT_EQ(v.ToString(), "abc");
+}
+
+TEST(ValueTest, BoolIsInt) {
+  EXPECT_EQ(Value::Bool(true).AsInt(), 1);
+  EXPECT_EQ(Value::Bool(false).AsInt(), 0);
+  EXPECT_TRUE(Value::Bool(true).IsTrue());
+  EXPECT_FALSE(Value::Bool(false).IsTrue());
+}
+
+TEST(ValueTest, IsTrueSemantics) {
+  EXPECT_TRUE(Value::Int(5).IsTrue());
+  EXPECT_FALSE(Value::Int(0).IsTrue());
+  EXPECT_TRUE(Value::Double(0.1).IsTrue());
+  EXPECT_FALSE(Value::Double(0).IsTrue());
+  EXPECT_TRUE(Value::String("x").IsTrue());
+  EXPECT_FALSE(Value::String("").IsTrue());
+}
+
+TEST(ValueTest, CompareNumericPromotion) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.0).Compare(Value::Int(1)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("ab").Compare(Value::String("ab")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("ab")), 0);
+  // ISO dates order correctly as strings.
+  EXPECT_LT(Value::String("1994-12-31").Compare(Value::String("1995-01-01")),
+            0);
+}
+
+TEST(ValueTest, EqualityWithNulls) {
+  EXPECT_TRUE(Value::Null() == Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+  EXPECT_TRUE(Value::Int(3) == Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "INT");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace skinner
