@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Runs the bench/ binaries and emits a machine-readable BENCH_<tag>.json
+# with per-scenario wall-clock timings, for tracking the perf trajectory
+# across PRs.
+#
+# Usage:
+#   bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUT_JSON] [-t TAG] [bench ...]
+#
+#   -b BUILD_DIR  directory containing the built bench binaries
+#                 (default: ./build)
+#   -o OUT_JSON   output path (default: BENCH_<tag>.json in the repo root)
+#   -t TAG        tag recorded in the JSON and default filename
+#                 (default: short git SHA, or "local")
+#   bench ...     subset of bench names to run (default: all that exist);
+#                 e.g. `bench/run_benchmarks.sh bench_trivial bench_tpch`
+#
+# Each scenario records: name, exit code, wall seconds, and the paths of
+# the captured stdout log (kept next to the JSON as BENCH_<tag>.<name>.log).
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build"
+OUT_JSON=""
+TAG=""
+
+while getopts "b:o:t:h" opt; do
+  case "$opt" in
+    b) BUILD_DIR="$OPTARG" ;;
+    o) OUT_JSON="$OPTARG" ;;
+    t) TAG="$OPTARG" ;;
+    h)
+      sed -n '2,18p' "$0"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ -z "$TAG" ]; then
+  TAG="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo local)"
+fi
+if [ -z "$OUT_JSON" ]; then
+  OUT_JSON="${REPO_ROOT}/BENCH_${TAG}.json"
+fi
+
+ALL_BENCHES=(
+  bench_trivial
+  bench_convergence
+  bench_learning_vs_random
+  bench_order_quality
+  bench_ablation
+  bench_failures
+  bench_memory
+  bench_torture_corr
+  bench_torture_udf
+  bench_job
+  bench_job_analysis
+  bench_tpch
+  bench_micro
+)
+
+if [ "$#" -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=("${ALL_BENCHES[@]}")
+fi
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+now_ns() {
+  date +%s%N
+}
+
+json_entries=""
+ran_any=0
+for name in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/${name}"
+  if [ ! -x "$bin" ]; then
+    echo "skip: ${name} (no binary at ${bin})" >&2
+    continue
+  fi
+  log="${OUT_JSON%.json}.${name}.log"
+  echo "=== ${name} ==="
+  start=$(now_ns)
+  "$bin" >"$log" 2>&1
+  code=$?
+  end=$(now_ns)
+  secs=$(awk "BEGIN{printf \"%.3f\", (${end} - ${start}) / 1e9}")
+  echo "    exit=${code} wall=${secs}s log=${log}"
+  [ -n "$json_entries" ] && json_entries="${json_entries},"
+  json_entries="${json_entries}
+    {\"name\": \"${name}\", \"exit_code\": ${code}, \"wall_seconds\": ${secs}, \"log\": \"$(basename "$log")\"}"
+  ran_any=1
+done
+
+if [ "$ran_any" -eq 0 ]; then
+  echo "error: no bench binaries found in ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+cat >"$OUT_JSON" <<EOF
+{
+  "schema_version": 1,
+  "tag": "${TAG}",
+  "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": "$(uname -srm)",
+  "scenarios": [${json_entries}
+  ]
+}
+EOF
+
+echo "wrote ${OUT_JSON}"

@@ -1,6 +1,7 @@
 #ifndef SKINNER_COMMON_RNG_H_
 #define SKINNER_COMMON_RNG_H_
 
+#include <cassert>
 #include <cstdint>
 
 namespace skinner {
@@ -29,9 +30,17 @@ class Rng {
   /// Uniform integer in [0, bound). bound must be > 0.
   uint64_t Uniform(uint64_t bound) { return Next() % bound; }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi: asserts in
+  /// debug builds and clamps to lo in release builds (an inverted range
+  /// previously underflowed `hi - lo + 1` into a huge unsigned bound).
   int64_t Range(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    assert(lo <= hi && "Rng::Range requires lo <= hi");
+    if (lo >= hi) return lo;
+    // Unsigned subtraction is well-defined even when hi - lo overflows
+    // int64 (e.g. Range(INT64_MIN, INT64_MAX)).
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    uint64_t offset = span == UINT64_MAX ? Next() : Uniform(span + 1);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + offset);
   }
 
   /// Uniform double in [0, 1).

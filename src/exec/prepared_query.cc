@@ -5,15 +5,34 @@
 #include <cstring>
 #include <thread>
 
+#include "common/hash_util.h"
+
 namespace skinner {
 
 uint64_t JoinKeyOf(const Column& col, int64_t base_row) {
   switch (col.type()) {
     case DataType::kString:
       return static_cast<uint64_t>(col.GetStringId(base_row));
-    case DataType::kInt64:
+    case DataType::kInt64: {
+      const int64_t v = col.GetInt(base_row);
+      constexpr int64_t kDoubleExactBound = int64_t{1} << 53;
+      if (v < -kDoubleExactBound || v > kDoubleExactBound) {
+        // The double conversion is lossy here and would collapse distinct
+        // int64 keys onto one bit pattern; key on the (bijectively mixed)
+        // exact bits instead. See the header contract for the remaining
+        // int64-vs-double caveat.
+        return HashMix64(static_cast<uint64_t>(v));
+      }
+      const double d = static_cast<double>(v);  // exact; v == 0 gives +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(d));
+      return bits;
+    }
     case DataType::kDouble: {
       double d = col.GetDouble(base_row);
+      // -0.0 == +0.0 in EvalPredicate, so both must map to one key or
+      // hash-index probes silently miss matching rows.
+      if (d == 0.0) d = 0.0;
       uint64_t bits;
       std::memcpy(&bits, &d, sizeof(d));
       return bits;

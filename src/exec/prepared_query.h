@@ -36,9 +36,22 @@ class HashIndex {
 };
 
 /// Join key of a cell, normalized so that any two equality-joinable columns
-/// produce comparable keys: numeric columns use the bit pattern of the
-/// value as double (int64->double is exact at our scales), strings use
-/// their dictionary code (the pool is database-wide).
+/// produce comparable keys whenever `EvalPredicate` considers the values
+/// equal: strings use their dictionary code (the pool is database-wide) and
+/// numeric values use the bit pattern of the value as double, with -0.0
+/// canonicalized to +0.0 first (the two compare equal, so they must hash to
+/// the same key or index probes silently miss matching rows).
+///
+/// Int64 values outside [-2^53, 2^53] are not exactly representable as
+/// doubles, so distinct values could collapse onto one double bit pattern.
+/// To keep int64-int64 equi-joins exact (matching Value::Compare, which
+/// compares int64 pairs without promotion), such values instead take a key
+/// bijectively mixed from the exact int64 bits. Two documented limits of
+/// the 64-bit key space: (a) an int64 beyond 2^53 never key-matches a
+/// double column, even when Value::Compare's double promotion would call
+/// them equal; (b) a mixed big-int64 key can in principle collide with an
+/// unrelated double bit pattern (~2^-64 per pair) — engines trust key
+/// equality on the driver predicate and do not re-verify with EvalPredicate.
 uint64_t JoinKeyOf(const Column& col, int64_t base_row);
 
 /// Options controlling pre-processing.

@@ -19,7 +19,7 @@ TableStats ComputeTableStats(const Table& table) {
         ++cs.null_count;
         continue;
       }
-      uint64_t key;
+      uint64_t key = 0;
       switch (col.type()) {
         case DataType::kString:
           key = static_cast<uint64_t>(col.GetStringId(r));

@@ -58,21 +58,8 @@ class Column {
     return static_cast<int32_t>(ints_[static_cast<size_t>(row)]);
   }
 
-  /// Generic 64-bit key for hash joins. Numeric cells normalize through
-  /// double bits (exact for the magnitudes we store), so INT and DOUBLE
-  /// columns can equi-join; strings use their dictionary code (the pool is
-  /// database-wide). Two cells in any columns of the same logical type are
-  /// join-equal iff their keys are equal.
-  uint64_t JoinKey(int64_t row) const {
-    if (type_ == DataType::kString) {
-      return static_cast<uint64_t>(ints_[static_cast<size_t>(row)]);
-    }
-    double d = GetDouble(row);
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    __builtin_memcpy(&bits, &d, sizeof(d));
-    return bits;
-  }
+  // Join-key normalization lives in JoinKeyOf (src/exec/prepared_query.h),
+  // the single definition of the key contract used by every engine.
 
   /// Materializes a cell as a Value (strings looked up in `pool`).
   Value GetValue(int64_t row, const StringPool& pool) const;

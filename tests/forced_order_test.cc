@@ -146,5 +146,68 @@ TEST_F(ForcedOrderTest, MultipleEquiPredsOneDriverRestChecks) {
   EXPECT_FALSE(cursor.Check(1));
 }
 
+// Regression: -0.0 and +0.0 compare equal in EvalPredicate, so they must
+// hash to one join key. Before the JoinKeyOf fix the two bit patterns
+// produced different keys and index-backed probes silently missed rows.
+class SignedZeroJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto l = catalog_.CreateTable("l", Schema({{"d", DataType::kDouble}}));
+    auto r = catalog_.CreateTable("r", Schema({{"d", DataType::kDouble}}));
+    ASSERT_TRUE(l.ok() && r.ok());
+    for (double v : {-0.0, 1.5}) {
+      l.value()->mutable_column(0)->AppendDouble(v);
+      l.value()->CommitRow();
+    }
+    for (double v : {0.0, 2.5, -0.0}) {
+      r.value()->mutable_column(0)->AppendDouble(v);
+      r.value()->CommitRow();
+    }
+  }
+
+  void Prepare(const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    ASSERT_TRUE(stmt.ok());
+    auto q = BindSelect(stmt.value().select.get(), &catalog_, &udfs_);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::make_unique<BoundQuery>(q.MoveValue());
+    info_ = std::make_unique<QueryInfo>(QueryInfo::Analyze(*query_).MoveValue());
+    auto pq = PreparedQuery::Prepare(query_.get(), info_.get(),
+                                     catalog_.string_pool(), &clock_, {});
+    ASSERT_TRUE(pq.ok());
+    pq_ = pq.MoveValue();
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  VirtualClock clock_;
+  std::unique_ptr<BoundQuery> query_;
+  std::unique_ptr<QueryInfo> info_;
+  std::unique_ptr<PreparedQuery> pq_;
+};
+
+TEST_F(SignedZeroJoinTest, JoinKeysOfBothZerosAgree) {
+  Prepare("SELECT COUNT(*) FROM l, r WHERE l.d = r.d");
+  const Column& ld = pq_->table(0)->column(0);
+  const Column& rd = pq_->table(1)->column(0);
+  EXPECT_EQ(JoinKeyOf(ld, 0), JoinKeyOf(rd, 0));  // -0.0 vs +0.0
+  EXPECT_EQ(JoinKeyOf(rd, 0), JoinKeyOf(rd, 2));  // +0.0 vs -0.0
+  EXPECT_NE(JoinKeyOf(ld, 0), JoinKeyOf(ld, 1));  // 0 vs 1.5
+}
+
+TEST_F(SignedZeroJoinTest, IndexProbeFindsOppositeSignZero) {
+  Prepare("SELECT COUNT(*) FROM l, r WHERE l.d = r.d");
+  auto steps = BuildJoinSteps(*pq_, {0, 1});
+  ASSERT_GE(steps[1].driver, 0);  // index-backed probe
+  JoinCursor cursor(pq_.get(), steps);
+  cursor.Bind(0, 0);  // l row 0: d = -0.0
+  // r positions with an equal key: 0 (+0.0) and 2 (-0.0).
+  int64_t p = cursor.FirstCandidate(1, 0);
+  EXPECT_EQ(p, 0);
+  p = cursor.NextCandidate(1, p);
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(cursor.NextCandidate(1, p), -1);
+}
+
 }  // namespace
 }  // namespace skinner

@@ -43,6 +43,45 @@ TEST(RngTest, RangeInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(RngTest, RangeSingleton) {
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Range(5, 5), 5);
+  EXPECT_EQ(rng.Range(-7, -7), -7);
+}
+
+TEST(RngTest, RangeNegativeBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-6, -3);
+    EXPECT_GE(v, -6);
+    EXPECT_LE(v, -3);
+  }
+}
+
+TEST(RngTest, RangeExtremeSpanStaysDefined) {
+  Rng rng(25);
+  // hi - lo overflows int64; the unsigned span arithmetic must not.
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.Range(INT64_MIN, INT64_MAX);
+    (void)v;  // any int64 is in range; just must not UB/crash
+  }
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = rng.Range(INT64_MIN, 0);
+    EXPECT_LE(v, 0);
+  }
+}
+
+TEST(RngTest, RangeInvertedBoundsFailLoudly) {
+  // Inverted ranges used to underflow `hi - lo + 1` into a huge unsigned
+  // bound and return values far outside [lo, hi]. Now: assert in debug
+  // builds, clamp to lo in release builds.
+  Rng rng(27);
+  EXPECT_DEBUG_DEATH(rng.Range(6, 3), "lo <= hi");
+#ifdef NDEBUG
+  EXPECT_EQ(rng.Range(6, 3), 6);
+#endif
+}
+
 TEST(RngTest, NextDoubleInUnitInterval) {
   Rng rng(11);
   double sum = 0;

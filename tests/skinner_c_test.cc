@@ -182,5 +182,41 @@ TEST_F(SkinnerCTest, SmallerBudgetMoreSlices) {
   EXPECT_GT(slices_small, slices_large);
 }
 
+// Regression: an equi-join between -0.0 and +0.0 keys must produce the
+// rows EvalPredicate considers equal. Before the JoinKeyOf signed-zero
+// canonicalization the hash-index probes missed all cross-sign matches.
+TEST(SkinnerCSignedZeroTest, JoinsAcrossSignedZero) {
+  Catalog catalog;
+  UdfRegistry udfs;
+  VirtualClock clock;
+  auto l = catalog.CreateTable("l", Schema({{"d", DataType::kDouble}}));
+  auto r = catalog.CreateTable("r", Schema({{"d", DataType::kDouble}}));
+  ASSERT_TRUE(l.ok() && r.ok());
+  for (double v : {-0.0, 1.5, 3.0}) {
+    l.value()->mutable_column(0)->AppendDouble(v);
+    l.value()->CommitRow();
+  }
+  for (double v : {0.0, 0.0, 2.5}) {
+    r.value()->mutable_column(0)->AppendDouble(v);
+    r.value()->CommitRow();
+  }
+
+  auto stmt = ParseSql("SELECT COUNT(*) FROM l, r WHERE l.d = r.d");
+  ASSERT_TRUE(stmt.ok());
+  auto q = BindSelect(stmt.value().select.get(), &catalog, &udfs);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BoundQuery query = q.MoveValue();
+  QueryInfo info = QueryInfo::Analyze(query).MoveValue();
+  auto pq = PreparedQuery::Prepare(&query, &info, catalog.string_pool(),
+                                   &clock, {});
+  ASSERT_TRUE(pq.ok());
+
+  SkinnerCOptions opts;
+  SkinnerCEngine engine(pq.value().get(), opts);
+  std::vector<PosTuple> out;
+  ASSERT_TRUE(engine.Run(&out).ok());
+  EXPECT_EQ(out.size(), 2u);  // l's -0.0 joins both +0.0 rows of r
+}
+
 }  // namespace
 }  // namespace skinner

@@ -80,7 +80,9 @@ TEST_F(SkinnerGTest, FailedIterationsEarnZeroReward) {
   const SkinnerGStats& s = engine.stats();
   EXPECT_GT(s.iterations, s.successes);
   EXPECT_GT(s.max_level_used, 0);  // pyramid had to climb
-  if (engine.finished()) EXPECT_EQ(out.size(), 120u);
+  if (engine.finished()) {
+    EXPECT_EQ(out.size(), 120u);
+  }
 }
 
 TEST_F(SkinnerGTest, MinPositionsTrackBatchRemoval) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "exec/prepared_query.h"
 #include "storage/catalog.h"
 
 namespace skinner {
@@ -73,9 +74,18 @@ TEST(ColumnTest, JoinKeyNormalizesIntAndDouble) {
   Column cd(DataType::kDouble);
   ci.AppendInt(42);
   cd.AppendDouble(42.0);
-  EXPECT_EQ(ci.JoinKey(0), cd.JoinKey(0));
+  EXPECT_EQ(JoinKeyOf(ci, 0), JoinKeyOf(cd, 0));
   ci.AppendInt(43);
-  EXPECT_NE(ci.JoinKey(1), cd.JoinKey(0));
+  EXPECT_NE(JoinKeyOf(ci, 1), JoinKeyOf(cd, 0));
+  // Signed zeros compare equal, so they share a key.
+  cd.AppendDouble(-0.0);
+  cd.AppendDouble(0.0);
+  EXPECT_EQ(JoinKeyOf(cd, 1), JoinKeyOf(cd, 2));
+  // Beyond 2^53 the double conversion is lossy; exact int64 keys must not
+  // collapse adjacent values.
+  ci.AppendInt((int64_t{1} << 53) + 1);
+  ci.AppendInt(int64_t{1} << 53);
+  EXPECT_NE(JoinKeyOf(ci, 2), JoinKeyOf(ci, 3));
 }
 
 TEST(ColumnTest, StringDictionaryCodes) {

@@ -1,6 +1,7 @@
 #include "test_util.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/str_util.h"
 #include "expr/eval.h"
@@ -39,8 +40,16 @@ Status BuildRandomDb(Database* db, const RandomDbSpec& spec,
         t->mutable_column(2)->AppendInt(static_cast<int64_t>(rng.Uniform(10)));
       }
       t->mutable_column(3)->AppendString(kStrings[rng.Uniform(4)], pool);
-      t->mutable_column(4)->AppendDouble(
-          static_cast<double>(rng.Uniform(100)) / 10.0);
+      if (spec.double_join_keys) {
+        int64_t k = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(spec.key_domain)));
+        double d = static_cast<double>(k) * 0.5;
+        if (k == 0 && rng.Bernoulli(0.5)) d = -0.0;
+        t->mutable_column(4)->AppendDouble(d);
+      } else {
+        t->mutable_column(4)->AppendDouble(
+            static_cast<double>(rng.Uniform(100)) / 10.0);
+      }
       t->CommitRow();
     }
     table_names->push_back(name);
@@ -101,6 +110,43 @@ std::string RandomCountQuery(Rng* rng, const std::vector<std::string>& tables) {
     sql += chosen[static_cast<size_t>(i)] + StrFormat(" t%d", i);
   }
   if (!conjuncts.empty()) sql += " WHERE " + Join(conjuncts, " AND ");
+  return sql;
+}
+
+std::string RandomDoubleKeyCountQuery(Rng* rng,
+                                      const std::vector<std::string>& tables) {
+  // The query always emits at least one join, so two tables are required
+  // (and Uniform's bound must stay positive).
+  assert(tables.size() >= 2);
+  int m = 2 + static_cast<int>(rng->Uniform(
+                  std::min<uint64_t>(tables.size() - 1, 3)));
+  std::vector<std::string> chosen(tables);
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    std::swap(chosen[i], chosen[i + rng->Uniform(chosen.size() - i)]);
+  }
+  chosen.resize(static_cast<size_t>(m));
+
+  std::vector<std::string> conjuncts;
+  // Spanning tree of equality joins over the DOUBLE `d` columns.
+  for (int i = 1; i < m; ++i) {
+    int parent = static_cast<int>(rng->Uniform(static_cast<uint64_t>(i)));
+    conjuncts.push_back(StrFormat("t%d.d = t%d.d", parent, i));
+  }
+  // Optional unary predicates (kept off `d` so every join key survives
+  // filtering, including the signed zeros).
+  for (int i = 0; i < m; ++i) {
+    if (rng->Bernoulli(0.3)) {
+      conjuncts.push_back(StrFormat("t%d.val < %d", i,
+                                    static_cast<int>(rng->Uniform(10))));
+    }
+  }
+
+  std::string sql = "SELECT COUNT(*) FROM ";
+  for (int i = 0; i < m; ++i) {
+    if (i) sql += ", ";
+    sql += chosen[static_cast<size_t>(i)] + StrFormat(" t%d", i);
+  }
+  sql += " WHERE " + Join(conjuncts, " AND ");
   return sql;
 }
 

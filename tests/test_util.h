@@ -20,6 +20,11 @@ struct RandomDbSpec {
   int64_t key_domain = 6;
   /// Probability of a NULL in the fk/val columns.
   double null_prob = 0.05;
+  /// Fill the `d` DOUBLE column with join keys drawn from `key_domain`
+  /// (half-integer values, with key 0 emitted as +0.0 or -0.0 at random)
+  /// instead of arbitrary decimals, so that queries joining on `d`
+  /// exercise the double hash-key path including signed zero.
+  bool double_join_keys = false;
   uint64_t seed = 1;
 };
 
@@ -32,6 +37,12 @@ Status BuildRandomDb(Database* db, const RandomDbSpec& spec,
 /// tables: a random spanning tree of equality joins plus optional unary
 /// predicates and an occasional non-equality join predicate.
 std::string RandomCountQuery(Rng* rng, const std::vector<std::string>& tables);
+
+/// Like RandomCountQuery, but the spanning tree joins on the DOUBLE `d`
+/// column. Use with RandomDbSpec::double_join_keys so the keys actually
+/// overlap (and include +0.0/-0.0).
+std::string RandomDoubleKeyCountQuery(Rng* rng,
+                                      const std::vector<std::string>& tables);
 
 /// Ground truth: brute-force evaluation of a bound query's join count by
 /// enumerating the full cross product and checking the complete WHERE
