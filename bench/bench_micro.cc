@@ -83,6 +83,7 @@ void BM_HashIndexProbe(benchmark::State& state) {
   for (int64_t i = 0; i < n; ++i) {
     index.Add(static_cast<uint64_t>(i % 97), static_cast<int32_t>(i));
   }
+  index.Build();
   uint64_t key = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.Find(key));
@@ -109,7 +110,7 @@ void BM_SkinnerSliceSwitching(benchmark::State& state) {
     state.PauseTiming();
     SkinnerCEngine engine(pq.value().get(), opts);
     state.ResumeTiming();
-    std::vector<PosTuple> out;
+    ResultSet out(pq.value()->num_tables());
     benchmark::DoNotOptimize(engine.Run(&out));
   }
 }

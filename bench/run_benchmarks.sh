@@ -52,6 +52,7 @@ ALL_BENCHES=(
   bench_ablation
   bench_failures
   bench_memory
+  bench_parallel_join
   bench_torture_corr
   bench_torture_udf
   bench_job

@@ -99,7 +99,7 @@ Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
                                       &clock, popts));
   out.stats.preprocess_cost = pq->preprocess_cost();
 
-  std::vector<PosTuple> join_result;
+  ResultSet join_result(pq->num_tables());
   if (!pq->trivially_empty()) {
     switch (opts.engine) {
       case EngineKind::kSkinnerC:
@@ -114,6 +114,7 @@ Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
         so.seed = opts.seed;
         so.deadline = opts.deadline;
         so.collect_trace = opts.collect_trace;
+        so.num_threads = opts.skinner_threads;
         SkinnerCEngine engine(pq.get(), so);
         SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
         const SkinnerCStats& s = engine.stats();
@@ -176,7 +177,7 @@ Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
         fo.deadline = opts.deadline;
         ForcedExecResult r;
         if (opts.engine == EngineKind::kVolcano) {
-          r = ExecuteVolcano(*pq, order, fo, &join_result);
+          r = ExecuteForcedOrder(*pq, order, fo, &join_result);
         } else {
           BlockExecOptions bo;
           static_cast<ForcedExecOptions&>(bo) = fo;

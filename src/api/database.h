@@ -40,6 +40,10 @@ struct ExecOptions {
   double uct_weight_c = 1e-6;        // w for Skinner-C
   RewardKind reward = RewardKind::kWeightedProgress;
   bool collect_trace = false;
+  /// Search-parallel Skinner-C workers (paper Section 4.4): stripes of the
+  /// leftmost table's range executed under one shared UCT tree and one
+  /// shared (striped-lock) result set. 1 = sequential.
+  int skinner_threads = 1;
 
   // Skinner-G / Skinner-H.
   int batches_per_table = 10;

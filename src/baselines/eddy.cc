@@ -36,8 +36,7 @@ int EddyEngine::Route(TableSet mask) {
 }
 
 void EddyEngine::Extend(const Partial& partial, int t,
-                        std::vector<Partial>* work,
-                        std::vector<PosTuple>* out) {
+                        std::vector<Partial>* work, ResultSet* out) {
   VirtualClock* clock = pq_->clock();
   const QueryInfo& info = pq_->info();
   TableSet next_mask = partial.mask | TableBit(t);
@@ -95,17 +94,14 @@ void EddyEngine::Extend(const Partial& partial, int t,
     ext.mask = next_mask;
     ++produced;
     if (__builtin_popcount(ext.mask) == pq_->num_tables()) {
-      out->push_back(std::move(ext.pos));
+      out->Append(ext.pos);
     } else {
       work->push_back(std::move(ext));
     }
   };
 
   if (index != nullptr) {
-    const std::vector<int32_t>* postings = index->Find(probe_key);
-    if (postings != nullptr) {
-      for (int32_t p : *postings) consider(p);
-    }
+    for (int32_t p : index->Find(probe_key)) consider(p);
   } else {
     int64_t card = pq_->cardinality(t);
     for (int64_t p = 0; p < card; ++p) consider(p);
@@ -114,7 +110,7 @@ void EddyEngine::Extend(const Partial& partial, int t,
   op_outputs_[static_cast<size_t>(t)] += produced;
 }
 
-Status EddyEngine::Run(std::vector<PosTuple>* out) {
+Status EddyEngine::Run(ResultSet* out) {
   if (pq_->trivially_empty()) return Status::OK();
   VirtualClock* clock = pq_->clock();
   const int m = pq_->num_tables();
@@ -132,7 +128,7 @@ Status EddyEngine::Run(std::vector<PosTuple>* out) {
     if (m == 1) {
       PosTuple tuple(static_cast<size_t>(m), -1);
       tuple[static_cast<size_t>(driver)] = static_cast<int32_t>(p);
-      out->push_back(std::move(tuple));
+      out->Append(tuple);
       continue;
     }
     Partial seed;

@@ -35,7 +35,7 @@ class EddyEngine {
  public:
   EddyEngine(const PreparedQuery* pq, const EddyOptions& opts);
 
-  Status Run(std::vector<PosTuple>* out);
+  Status Run(ResultSet* out);
 
   const EddyStats& stats() const { return stats_; }
 
@@ -50,7 +50,7 @@ class EddyEngine {
 
   /// Extends `partial` with every matching tuple of `t`, pushing results.
   void Extend(const Partial& partial, int t, std::vector<Partial>* work,
-              std::vector<PosTuple>* out);
+              ResultSet* out);
 
   const PreparedQuery* pq_;
   EddyOptions opts_;

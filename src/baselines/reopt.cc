@@ -61,7 +61,7 @@ PlanResult ReoptEngine::Plan(TableSet fixed_prefix,
   return res;
 }
 
-Status ReoptEngine::Run(std::vector<PosTuple>* out) {
+Status ReoptEngine::Run(ResultSet* out) {
   if (pq_->trivially_empty()) return Status::OK();
   VirtualClock* clock = pq_->clock();
   const QueryInfo& info = pq_->info();
@@ -134,7 +134,7 @@ Status ReoptEngine::Run(std::vector<PosTuple>* out) {
     }
   }
 
-  for (auto& tuple : current) out->push_back(std::move(tuple));
+  for (const auto& tuple : current) out->Append(tuple);
   return Status::OK();
 }
 

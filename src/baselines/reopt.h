@@ -35,7 +35,7 @@ class ReoptEngine {
   ReoptEngine(const PreparedQuery* pq, Estimator* estimator,
               const ReoptOptions& opts);
 
-  Status Run(std::vector<PosTuple>* out);
+  Status Run(ResultSet* out);
 
   const ReoptStats& stats() const { return stats_; }
 

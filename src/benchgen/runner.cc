@@ -24,6 +24,7 @@ RunResult RunQuery(Database* db, const std::string& query_name,
   r.cost = s.total_cost;
   r.intermediate = s.intermediate_tuples;
   r.result_rows = out.value().result.rows.size();
+  r.join_tuples = s.join_result_tuples;
   r.timed_out = s.timed_out;
   return r;
 }

@@ -7,12 +7,13 @@ namespace {
 /// kVectorDiscount candidate checks (tight loops over columns), but a full
 /// unit per materialized intermediate tuple.
 constexpr uint64_t kVectorDiscount = 4;
-}  // namespace
 
-ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
-                              const std::vector<int>& order,
-                              const BlockExecOptions& opts,
-                              std::vector<PosTuple>* out) {
+/// Shared body of both ExecuteBlock overloads; `emit` receives each final
+/// tuple exactly once after the last materialization pass completes.
+template <class EmitFn>
+ForcedExecResult RunBlock(const PreparedQuery& pq,
+                          const std::vector<int>& order,
+                          const BlockExecOptions& opts, EmitFn&& emit) {
   ForcedExecResult res;
   const int m = static_cast<int>(order.size());
   VirtualClock* clock = pq.clock();
@@ -79,8 +80,24 @@ ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
 
   res.completed = true;
   res.tuples_emitted = current.size();
-  for (auto& tuple : current) out->push_back(std::move(tuple));
+  for (auto& tuple : current) emit(tuple);
   return res;
+}
+
+}  // namespace
+
+ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
+                              const std::vector<int>& order,
+                              const BlockExecOptions& opts,
+                              std::vector<PosTuple>* out) {
+  return RunBlock(pq, order, opts,
+                  [out](PosTuple& t) { out->push_back(std::move(t)); });
+}
+
+ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
+                              const std::vector<int>& order,
+                              const BlockExecOptions& opts, ResultSet* out) {
+  return RunBlock(pq, order, opts, [out](const PosTuple& t) { out->Append(t); });
 }
 
 }  // namespace skinner

@@ -23,6 +23,12 @@ ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
                               const BlockExecOptions& opts,
                               std::vector<PosTuple>* out);
 
+/// Same, appending into a flat ResultSet (the Database join sink) without
+/// a per-tuple scratch copy.
+ForcedExecResult ExecuteBlock(const PreparedQuery& pq,
+                              const std::vector<int>& order,
+                              const BlockExecOptions& opts, ResultSet* out);
+
 }  // namespace skinner
 
 #endif  // SKINNER_ENGINE_BLOCK_H_

@@ -4,80 +4,48 @@
 #include <cstdint>
 #include <vector>
 
-#include "exec/prepared_query.h"
+#include "engine/multiway_join.h"
 
 namespace skinner {
 
-/// An equality predicate instantiated for one join-order position: column
-/// `this_col` of the step's table equals column `other_col` of the earlier
-/// table `other_table`.
-struct EquiProbe {
-  int this_col;
-  int other_table;
-  int other_col;
-  const HashIndex* index;  // on (step table, this_col); nullptr if not built
+/// Options for executing one forced left-deep join order.
+struct ForcedExecOptions {
+  /// Per-table lower bound on positions (tuples below are excluded; used
+  /// for Skinner-G batch removal). Empty = all zeros.
+  std::vector<int64_t> min_pos;
+  /// Restrict the leftmost table to positions [left_from, left_to);
+  /// -1/-1 = the full (non-excluded) range.
+  int64_t left_from = -1;
+  int64_t left_to = -1;
+  /// Absolute virtual-clock deadline; execution aborts past it.
+  uint64_t deadline = UINT64_MAX;
 };
 
-/// Everything needed to extend a join prefix by one table: the table, an
-/// optional index-backed driving probe, remaining equality checks, and
-/// generic (interpreted) predicate checks that become applicable here.
-struct JoinStep {
-  int table;
-  /// Driving probe (index-backed); -1 in `driver` means scan all positions.
-  int driver = -1;  // index into eq: which equality drives candidate jumps
-  std::vector<EquiProbe> eq;          // all equality preds to earlier tables
-  std::vector<const Expr*> checks;    // generic newly applicable conjuncts
+struct ForcedExecResult {
+  bool completed = false;
+  uint64_t tuples_emitted = 0;
+  /// Tuples that satisfied all predicates at every join prefix, i.e. the
+  /// accumulated intermediate result cardinality (C_out) actually produced.
+  /// The paper reports this as its engine-independent measure of optimizer
+  /// quality (Tables 1/2, "Total Card.").
+  uint64_t intermediate_tuples = 0;
 };
 
-/// Compiles a left-deep join order into per-position steps. Step k joins
-/// table order[k]; its predicates are exactly the conjuncts that become
-/// checkable at position k (paper: "newly applicable predicates").
-std::vector<JoinStep> BuildJoinSteps(const PreparedQuery& pq,
-                                     const std::vector<int>& order);
+/// Tuple-at-a-time (pipelined) execution of one forced join order, driving
+/// the shared engine/multiway_join step loop to completion (or deadline).
+/// This is the "generic SQL engine with forced join orders" role that
+/// Postgres plays in the paper: per-tuple interpretation overhead,
+/// pipelined, abortable at tuple granularity.
+ForcedExecResult ExecuteForcedOrder(const PreparedQuery& pq,
+                                    const std::vector<int>& order,
+                                    const ForcedExecOptions& opts,
+                                    std::vector<PosTuple>* out);
 
-/// Candidate enumeration and predicate checking for one join order. Used
-/// by the traditional engines (run to completion) and by Skinner-C (run in
-/// budgeted slices with suspend/resume). The cursor itself is stateless
-/// with respect to progress: all execution state lives in the caller's
-/// position vector, which is what makes Skinner-C's backup/restore cheap.
-class JoinCursor {
- public:
-  JoinCursor(const PreparedQuery* pq, std::vector<JoinStep> steps);
-
-  const std::vector<JoinStep>& steps() const { return steps_; }
-  int num_steps() const { return static_cast<int>(steps_.size()); }
-
-  /// Binds position `pos` of step `depth`'s table (records the base row
-  /// for predicate evaluation). Must be called before Check/descend.
-  void Bind(int depth, int64_t pos) {
-    const JoinStep& s = steps_[static_cast<size_t>(depth)];
-    binding_[static_cast<size_t>(s.table)] =
-        pq_->base_row(s.table, pos);
-  }
-
-  /// First candidate position >= `lower` at `depth` (given bindings for
-  /// all earlier depths), or -1 if none. Uses the driving hash probe when
-  /// available, otherwise a plain scan start. Candidates satisfy the
-  /// driving equality only; remaining predicates are left to Check().
-  int64_t FirstCandidate(int depth, int64_t lower) const;
-
-  /// Next candidate position strictly greater than `pos`, or -1.
-  int64_t NextCandidate(int depth, int64_t pos) const;
-
-  /// Checks all non-driving predicates of `depth` against the current
-  /// bindings (depth's own position must already be bound).
-  bool Check(int depth) const;
-
-  /// Base-row bindings indexed by table (valid for bound tables only).
-  const std::vector<int64_t>& bindings() const { return binding_; }
-
- private:
-  uint64_t ProbeKey(const EquiProbe& p, bool* is_null) const;
-
-  const PreparedQuery* pq_;
-  std::vector<JoinStep> steps_;
-  mutable std::vector<int64_t> binding_;  // base row per table
-};
+/// Same, appending into a flat ResultSet (the Database join sink).
+ForcedExecResult ExecuteForcedOrder(const PreparedQuery& pq,
+                                    const std::vector<int>& order,
+                                    const ForcedExecOptions& opts,
+                                    ResultSet* out);
 
 }  // namespace skinner
 

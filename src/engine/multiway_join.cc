@@ -1,0 +1,132 @@
+#include "engine/multiway_join.h"
+
+#include <algorithm>
+
+namespace skinner {
+
+std::vector<JoinStep> BuildJoinSteps(const PreparedQuery& pq,
+                                     const std::vector<int>& order) {
+  const QueryInfo& info = pq.info();
+  std::vector<JoinStep> steps;
+  steps.reserve(order.size());
+  TableSet prefix = 0;
+  for (int t : order) {
+    JoinStep step;
+    step.table = t;
+    TableSet with_t = prefix | TableBit(t);
+    for (const PredInfo* p : info.NewlyApplicable(with_t, t)) {
+      // Binary equality between t and an earlier table?
+      const Expr* e = p->expr;
+      bool is_equi = false;
+      if (e->kind == ExprKind::kBinaryOp && e->bin_op == BinOp::kEq &&
+          e->children[0]->kind == ExprKind::kColumnRef &&
+          e->children[1]->kind == ExprKind::kColumnRef) {
+        const Expr* a = e->children[0].get();
+        const Expr* b = e->children[1].get();
+        const Expr* mine = nullptr;
+        const Expr* other = nullptr;
+        if (a->table_idx == t && b->table_idx != t) {
+          mine = a;
+          other = b;
+        } else if (b->table_idx == t && a->table_idx != t) {
+          mine = b;
+          other = a;
+        }
+        if (mine != nullptr) {
+          EquiProbe probe;
+          probe.this_col = mine->column_idx;
+          probe.other_table = other->table_idx;
+          probe.other_col = other->column_idx;
+          probe.index = pq.index(t, mine->column_idx);
+          step.eq.push_back(probe);
+          is_equi = true;
+        }
+      }
+      if (!is_equi) step.checks.push_back(e);
+    }
+    // Pick the first index-backed equality as the driver.
+    for (size_t i = 0; i < step.eq.size(); ++i) {
+      if (step.eq[i].index != nullptr) {
+        step.driver = static_cast<int>(i);
+        break;
+      }
+    }
+    steps.push_back(std::move(step));
+    prefix = with_t;
+  }
+  return steps;
+}
+
+JoinCursor::JoinCursor(const PreparedQuery* pq, std::vector<JoinStep> steps)
+    : pq_(pq),
+      steps_(std::move(steps)),
+      binding_(static_cast<size_t>(pq->num_tables()), 0) {}
+
+uint64_t JoinCursor::ProbeKey(const EquiProbe& p, bool* is_null) const {
+  const Column& col = pq_->table(p.other_table)->column(p.other_col);
+  int64_t row = binding_[static_cast<size_t>(p.other_table)];
+  if (col.IsNull(row)) {
+    *is_null = true;
+    return 0;
+  }
+  *is_null = false;
+  return JoinKeyOf(col, row);
+}
+
+int64_t JoinCursor::FirstCandidate(int depth, int64_t lower) const {
+  const JoinStep& s = steps_[static_cast<size_t>(depth)];
+  int64_t card = pq_->cardinality(s.table);
+  if (s.driver >= 0) {
+    const EquiProbe& p = s.eq[static_cast<size_t>(s.driver)];
+    bool null = false;
+    uint64_t key = ProbeKey(p, &null);
+    if (null) return -1;
+    HashIndex::Postings postings = p.index->Find(key);
+    const int32_t* it = std::lower_bound(postings.begin(), postings.end(),
+                                         static_cast<int32_t>(lower));
+    return it == postings.end() ? -1 : *it;
+  }
+  return lower < card ? lower : -1;
+}
+
+int64_t JoinCursor::NextCandidate(int depth, int64_t pos) const {
+  const JoinStep& s = steps_[static_cast<size_t>(depth)];
+  int64_t card = pq_->cardinality(s.table);
+  if (s.driver >= 0) {
+    const EquiProbe& p = s.eq[static_cast<size_t>(s.driver)];
+    bool null = false;
+    uint64_t key = ProbeKey(p, &null);
+    if (null) return -1;
+    HashIndex::Postings postings = p.index->Find(key);
+    const int32_t* it = std::upper_bound(postings.begin(), postings.end(),
+                                         static_cast<int32_t>(pos));
+    return it == postings.end() ? -1 : *it;
+  }
+  return pos + 1 < card ? pos + 1 : -1;
+}
+
+bool JoinCursor::Check(int depth) const {
+  const JoinStep& s = steps_[static_cast<size_t>(depth)];
+  // Equality checks beyond the driver (or all of them when scanning).
+  for (size_t i = 0; i < s.eq.size(); ++i) {
+    if (static_cast<int>(i) == s.driver) continue;
+    const EquiProbe& p = s.eq[i];
+    const Column& mine = pq_->table(s.table)->column(p.this_col);
+    int64_t my_row = binding_[static_cast<size_t>(s.table)];
+    if (mine.IsNull(my_row)) return false;
+    bool null = false;
+    uint64_t other_key = ProbeKey(p, &null);
+    if (null) return false;
+    if (JoinKeyOf(mine, my_row) != other_key) return false;
+  }
+  if (!s.checks.empty()) {
+    EvalContext ctx = pq_->MakeEvalContext(binding_.data());
+    if (clock_override_ != nullptr) ctx.clock = clock_override_;
+    for (const Expr* e : s.checks) {
+      if (!EvalPredicate(*e, ctx)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace skinner

@@ -1,0 +1,258 @@
+#ifndef SKINNER_ENGINE_MULTIWAY_JOIN_H_
+#define SKINNER_ENGINE_MULTIWAY_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "exec/prepared_query.h"
+#include "exec/result_set.h"
+
+namespace skinner {
+
+/// Suspended execution state of the depth-first multiway join for one join
+/// order (paper 4.5): the DFS depth plus the candidate position at every
+/// depth <= depth. Positions live in join-order space: pos[d] indexes the
+/// filtered rows of table order[d]. This tiny vector is the *entire*
+/// execution state — the property that makes join order switching cheap.
+struct JoinState {
+  int depth = 0;
+  std::vector<int64_t> pos;
+
+  bool operator==(const JoinState& o) const {
+    return depth == o.depth && pos == o.pos;
+  }
+};
+
+/// An equality predicate instantiated for one join-order position: column
+/// `this_col` of the step's table equals column `other_col` of the earlier
+/// table `other_table`.
+struct EquiProbe {
+  int this_col;
+  int other_table;
+  int other_col;
+  const HashIndex* index;  // on (step table, this_col); nullptr if not built
+};
+
+/// Everything needed to extend a join prefix by one table: the table, an
+/// optional index-backed driving probe, remaining equality checks, and
+/// generic (interpreted) predicate checks that become applicable here.
+struct JoinStep {
+  int table;
+  /// Driving probe (index-backed); -1 in `driver` means scan all positions.
+  int driver = -1;  // index into eq: which equality drives candidate jumps
+  std::vector<EquiProbe> eq;          // all equality preds to earlier tables
+  std::vector<const Expr*> checks;    // generic newly applicable conjuncts
+};
+
+/// Compiles a left-deep join order into per-position steps. Step k joins
+/// table order[k]; its predicates are exactly the conjuncts that become
+/// checkable at position k (paper: "newly applicable predicates").
+std::vector<JoinStep> BuildJoinSteps(const PreparedQuery& pq,
+                                     const std::vector<int>& order);
+
+/// Candidate enumeration and predicate checking for one join order. Used
+/// by the traditional engines (run to completion) and by Skinner-C (run in
+/// budgeted slices with suspend/resume). The cursor itself is stateless
+/// with respect to progress: all execution state lives in the caller's
+/// position vector, which is what makes Skinner-C's backup/restore cheap.
+class JoinCursor {
+ public:
+  JoinCursor(const PreparedQuery* pq, std::vector<JoinStep> steps);
+
+  const std::vector<JoinStep>& steps() const { return steps_; }
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+
+  /// Binds position `pos` of step `depth`'s table (records the base row
+  /// for predicate evaluation). Must be called before Check/descend.
+  void Bind(int depth, int64_t pos) {
+    const JoinStep& s = steps_[static_cast<size_t>(depth)];
+    binding_[static_cast<size_t>(s.table)] =
+        pq_->base_row(s.table, pos);
+  }
+
+  /// First candidate position >= `lower` at `depth` (given bindings for
+  /// all earlier depths), or -1 if none. Uses the driving hash probe when
+  /// available, otherwise a plain scan start. Candidates satisfy the
+  /// driving equality only; remaining predicates are left to Check().
+  int64_t FirstCandidate(int depth, int64_t lower) const;
+
+  /// Next candidate position strictly greater than `pos`, or -1.
+  int64_t NextCandidate(int depth, int64_t pos) const;
+
+  /// Checks all non-driving predicates of `depth` against the current
+  /// bindings (depth's own position must already be bound).
+  bool Check(int depth) const;
+
+  /// Base-row bindings indexed by table (valid for bound tables only).
+  const std::vector<int64_t>& bindings() const { return binding_; }
+
+  /// Routes predicate/UDF evaluation costs to `clock` instead of the
+  /// prepared query's shared clock. Parallel Skinner-C workers point their
+  /// cursors at per-worker clocks so charging stays race-free.
+  void SetClock(VirtualClock* clock) { clock_override_ = clock; }
+
+ private:
+  uint64_t ProbeKey(const EquiProbe& p, bool* is_null) const;
+
+  const PreparedQuery* pq_;
+  std::vector<JoinStep> steps_;
+  mutable std::vector<int64_t> binding_;  // base row per table
+  VirtualClock* clock_override_ = nullptr;
+};
+
+/// Why MultiwayJoinLoop returned.
+enum class JoinLoopExit {
+  kCompleted,  // leftmost range exhausted: every result tuple emitted
+  kBudget,     // step budget used up; `state` holds the suspension point
+  kDeadline,   // clock reached the deadline; `state` holds the suspension
+};
+
+/// Parameters of one loop run. The loop executes `order` depth-first:
+/// advance the candidate at the current depth, probe/check it, descend on
+/// success, backtrack on exhaustion (paper 4.5, Algorithm 3's inner loop).
+struct MultiwayJoinSpec {
+  /// Leftmost table range end: positions of order[0] in [state.pos[0],
+  /// left_to) are processed. Parallel Skinner-C gives each worker a stripe.
+  int64_t left_to = 0;
+  /// Per-table (table-indexed) lower bounds for descend targets: depth d>0
+  /// starts at FirstCandidate(d, lower[order[d]]). nullptr = all zeros.
+  /// Skinner-C passes its per-table offsets (tuples below are fully
+  /// joined); forced execution passes the Skinner-G exclusion bounds.
+  const int64_t* lower = nullptr;
+  /// Charged steps before suspension (Skinner-C time slice budget b).
+  int64_t budget = INT64_MAX;
+  /// Abort (kDeadline) once `clock` reaches this; checked per charged step.
+  uint64_t deadline = UINT64_MAX;
+  /// Cost model: Skinner-C charges every loop iteration (including
+  /// backtracks) against budget and clock so a slice is exactly b ticks;
+  /// the traditional engines tick only for candidate tests.
+  bool charge_backtrack = false;
+  /// Clock ticked per charged step (also receives predicate/UDF costs via
+  /// the cursor's evaluation context).
+  VirtualClock* clock = nullptr;
+};
+
+struct JoinLoopStats {
+  /// Tuples that satisfied all predicates at every join prefix, i.e. the
+  /// accumulated intermediate result cardinality (C_out) actually paid.
+  uint64_t intermediate_tuples = 0;
+  /// Charged steps (loop iterations under charge_backtrack, candidate
+  /// tests otherwise).
+  uint64_t steps = 0;
+};
+
+/// The depth-first multiway-join step loop shared by every engine. Runs
+/// `order` from `state` until the leftmost range is exhausted, the budget
+/// is spent, or the deadline passes. On suspension the state is normalized
+/// (pending backtracks resolved) so it can be stored in a progress tree.
+///
+/// `state` contract on entry: pos[0..depth-1] passed their checks (they
+/// are re-bound here); pos[depth] is the untested candidate, or -1/past
+/// left_to if exhausted.
+///
+/// `emit(tuple)` receives each full result as a table-indexed PosTuple.
+/// `left_advanced(p)` reports that every leftmost position < p is now
+/// fully joined (Skinner-C advances its offset; others ignore it).
+template <class EmitFn, class LeftFn>
+JoinLoopExit MultiwayJoinLoop(JoinCursor* cursor, const std::vector<int>& order,
+                              const MultiwayJoinSpec& spec, JoinState* state,
+                              JoinLoopStats* stats, EmitFn&& emit,
+                              LeftFn&& left_advanced) {
+  const int m = static_cast<int>(order.size());
+  VirtualClock* clock = spec.clock;
+  std::vector<int64_t>& pos = state->pos;
+  int i = state->depth;
+  for (int d = 0; d < i; ++d) cursor->Bind(d, pos[static_cast<size_t>(d)]);
+
+  PosTuple tuple(static_cast<size_t>(m), -1);
+  int64_t steps = 0;
+  JoinLoopExit exit = JoinLoopExit::kCompleted;
+  bool done = false;
+  bool suspended = false;
+  while (true) {
+    if (spec.charge_backtrack) {
+      if (steps >= spec.budget) {
+        exit = JoinLoopExit::kBudget;
+        suspended = true;
+        break;
+      }
+      ++steps;
+      clock->Tick();
+      if (clock->now() >= spec.deadline) {
+        exit = JoinLoopExit::kDeadline;
+        suspended = true;
+        break;
+      }
+    }
+    int64_t p = pos[static_cast<size_t>(i)];
+    if (p < 0 || (i == 0 && p >= spec.left_to)) {
+      // Exhausted at depth i: backtrack.
+      if (i == 0) {
+        // Leftmost exhausted: every tuple of its range fully joined.
+        left_advanced(spec.left_to);
+        done = true;
+        break;
+      }
+      --i;
+      int64_t old = pos[static_cast<size_t>(i)];
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
+      if (i == 0) left_advanced(old + 1);
+      continue;
+    }
+    if (!spec.charge_backtrack) {
+      ++steps;
+      clock->Tick();
+      if (clock->now() >= spec.deadline) {
+        exit = JoinLoopExit::kDeadline;
+        suspended = true;
+        break;
+      }
+    }
+    cursor->Bind(i, p);
+    if (!cursor->Check(i)) {
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      continue;
+    }
+    ++stats->intermediate_tuples;
+    if (i == m - 1) {
+      for (int d = 0; d < m; ++d) {
+        tuple[static_cast<size_t>(order[static_cast<size_t>(d)])] =
+            static_cast<int32_t>(pos[static_cast<size_t>(d)]);
+      }
+      emit(tuple);
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      continue;
+    }
+    ++i;
+    pos[static_cast<size_t>(i)] = cursor->FirstCandidate(
+        i, spec.lower == nullptr
+               ? 0
+               : spec.lower[static_cast<size_t>(
+                     order[static_cast<size_t>(i)])]);
+  }
+  if (suspended) {
+    // Normalize the suspension point: resolve any pending backtracks so the
+    // stored state has a valid candidate at every depth (keeps progress
+    // frontiers meaningful). Costs nothing against budget or clock.
+    while (i >= 0 && (pos[static_cast<size_t>(i)] < 0 ||
+                      (i == 0 && pos[0] >= spec.left_to))) {
+      if (i == 0) {
+        left_advanced(spec.left_to);
+        done = true;
+        break;
+      }
+      --i;
+      int64_t old = pos[static_cast<size_t>(i)];
+      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
+      if (i == 0) left_advanced(old + 1);
+    }
+  }
+  stats->steps += static_cast<uint64_t>(steps);
+  state->depth = std::max(i, 0);
+  return done ? JoinLoopExit::kCompleted : exit;
+}
+
+}  // namespace skinner
+
+#endif  // SKINNER_ENGINE_MULTIWAY_JOIN_H_

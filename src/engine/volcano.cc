@@ -6,66 +6,7 @@ ForcedExecResult ExecuteVolcano(const PreparedQuery& pq,
                                 const std::vector<int>& order,
                                 const ForcedExecOptions& opts,
                                 std::vector<PosTuple>* out) {
-  ForcedExecResult res;
-  const int m = static_cast<int>(order.size());
-  VirtualClock* clock = pq.clock();
-  JoinCursor cursor(&pq, BuildJoinSteps(pq, order));
-
-  std::vector<int64_t> min_pos = opts.min_pos;
-  if (min_pos.empty()) min_pos.assign(static_cast<size_t>(pq.num_tables()), 0);
-
-  int64_t left_from = opts.left_from >= 0 ? opts.left_from
-                                          : min_pos[static_cast<size_t>(order[0])];
-  int64_t left_to = opts.left_to >= 0 ? opts.left_to : pq.cardinality(order[0]);
-  left_from = std::max(left_from, min_pos[static_cast<size_t>(order[0])]);
-
-  // pos[d]: candidate position at depth d (to be tested); -1 = exhausted.
-  std::vector<int64_t> pos(static_cast<size_t>(m), -1);
-  PosTuple tuple(static_cast<size_t>(pq.num_tables()), -1);
-
-  int i = 0;
-  pos[0] = left_from < left_to ? left_from : -1;
-  while (true) {
-    if (pos[static_cast<size_t>(i)] < 0 ||
-        (i == 0 && pos[0] >= left_to)) {
-      // Exhausted at this depth: backtrack.
-      --i;
-      if (i < 0) {
-        res.completed = true;
-        return res;
-      }
-      pos[static_cast<size_t>(i)] =
-          cursor.NextCandidate(i, pos[static_cast<size_t>(i)]);
-      continue;
-    }
-    clock->Tick();
-    if (clock->now() >= opts.deadline) {
-      res.completed = false;
-      return res;
-    }
-    cursor.Bind(i, pos[static_cast<size_t>(i)]);
-    if (!cursor.Check(i)) {
-      pos[static_cast<size_t>(i)] =
-          cursor.NextCandidate(i, pos[static_cast<size_t>(i)]);
-      continue;
-    }
-    ++res.intermediate_tuples;
-    if (i == m - 1) {
-      // Complete result tuple.
-      for (int d = 0; d < m; ++d) {
-        tuple[static_cast<size_t>(order[static_cast<size_t>(d)])] =
-            static_cast<int32_t>(pos[static_cast<size_t>(d)]);
-      }
-      out->push_back(tuple);
-      ++res.tuples_emitted;
-      pos[static_cast<size_t>(i)] =
-          cursor.NextCandidate(i, pos[static_cast<size_t>(i)]);
-      continue;
-    }
-    ++i;
-    pos[static_cast<size_t>(i)] = cursor.FirstCandidate(
-        i, min_pos[static_cast<size_t>(order[static_cast<size_t>(i)])]);
-  }
+  return ExecuteForcedOrder(pq, order, opts, out);
 }
 
 }  // namespace skinner

@@ -8,37 +8,11 @@
 
 namespace skinner {
 
-/// A join result tuple: one filtered position per table, in table order.
-using PosTuple = std::vector<int32_t>;
-
-/// Options for executing one forced left-deep join order.
-struct ForcedExecOptions {
-  /// Per-table lower bound on positions (tuples below are excluded; used
-  /// for Skinner-G batch removal). Empty = all zeros.
-  std::vector<int64_t> min_pos;
-  /// Restrict the leftmost table to positions [left_from, left_to);
-  /// -1/-1 = the full (non-excluded) range.
-  int64_t left_from = -1;
-  int64_t left_to = -1;
-  /// Absolute virtual-clock deadline; execution aborts past it.
-  uint64_t deadline = UINT64_MAX;
-};
-
-struct ForcedExecResult {
-  bool completed = false;
-  uint64_t tuples_emitted = 0;
-  /// Tuples that satisfied all predicates at every join prefix, i.e. the
-  /// accumulated intermediate result cardinality (C_out) actually produced.
-  /// The paper reports this as its engine-independent measure of optimizer
-  /// quality (Tables 1/2, "Total Card.").
-  uint64_t intermediate_tuples = 0;
-};
-
-/// Tuple-at-a-time (pipelined) execution of one join order: a depth-first
-/// multiway join using hash probes for equality predicates. This is the
-/// "generic SQL engine with forced join orders" role that Postgres plays
-/// in the paper: per-tuple interpretation overhead, pipelined, abortable
-/// at tuple granularity.
+/// Tuple-at-a-time (pipelined) execution of one join order: the "generic
+/// SQL engine with forced join orders" role that Postgres plays in the
+/// paper. A named alias for ExecuteForcedOrder — both drive the shared
+/// engine/multiway_join step loop; there is exactly one depth-first
+/// probe/backtrack implementation in the codebase.
 ForcedExecResult ExecuteVolcano(const PreparedQuery& pq,
                                 const std::vector<int>& order,
                                 const ForcedExecOptions& opts,

@@ -41,6 +41,52 @@ uint64_t JoinKeyOf(const Column& col, int64_t base_row) {
   return 0;
 }
 
+void HashIndex::Build() {
+  if (built_) return;
+  built_ = true;
+  if (staged_.empty()) {
+    num_keys_ = 0;
+    return;
+  }
+  // Capacity: next power of two holding the staged pairs at <= 50% load
+  // (the distinct-key count is bounded by the pair count).
+  size_t cap = 16;
+  while (cap < staged_.size() * 2) cap <<= 1;
+  mask_ = cap - 1;
+  slots_.assign(cap, Slot{});
+
+  // Pass 1: count the run length of every distinct key.
+  for (const auto& [key, pos] : staged_) {
+    (void)pos;
+    size_t i = HashMix64(key) & mask_;
+    while (slots_[i].len != 0 && slots_[i].key != key) i = (i + 1) & mask_;
+    if (slots_[i].len == 0) {
+      slots_[i].key = key;
+      ++num_keys_;
+    }
+    ++slots_[i].len;
+  }
+  // Pass 2: assign arena offsets (prefix sum in slot order).
+  uint32_t offset = 0;
+  for (Slot& s : slots_) {
+    if (s.len == 0) continue;
+    s.offset = offset;
+    offset += s.len;
+  }
+  // Pass 3: scatter positions; insertion order per key is ascending, and a
+  // stable scatter preserves it, keeping every run sorted.
+  arena_.resize(staged_.size());
+  std::vector<uint32_t> cursor(cap, 0);
+  for (const auto& [key, pos] : staged_) {
+    size_t i = HashMix64(key) & mask_;
+    while (slots_[i].key != key) i = (i + 1) & mask_;
+    arena_[slots_[i].offset + cursor[i]] = pos;
+    ++cursor[i];
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+}
+
 namespace {
 
 /// Filters one table by its unary predicates; returns surviving base rows
@@ -166,6 +212,7 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
           index->Add(JoinKeyOf(c, rows[p]), static_cast<int32_t>(p));
           ++pq->preprocess_cost_;
         }
+        index->Build();
         pq->indexes_.emplace(key, std::move(index));
       }
     }

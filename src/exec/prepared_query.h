@@ -1,12 +1,14 @@
 #ifndef SKINNER_EXEC_PREPARED_QUERY_H_
 #define SKINNER_EXEC_PREPARED_QUERY_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash_util.h"
 #include "common/status.h"
 #include "expr/eval.h"
 #include "query/query_info.h"
@@ -15,24 +17,78 @@
 namespace skinner {
 
 /// Hash index over the *filtered positions* of one (table, column) pair:
-/// join key -> ascending list of positions. Built during pre-processing for
+/// join key -> ascending run of positions. Built during pre-processing for
 /// every column that appears in an equality join predicate (paper 4.5:
 /// "we create hash tables on all columns subject to equality predicates").
 /// Sorted postings make Skinner-C's "jump to the next matching tuple index"
 /// a single binary search, so execution state stays a plain index vector.
+///
+/// Layout: a flat open-addressing (linear probing) table of {key, offset,
+/// len} slots over a single postings arena holding every key's ascending
+/// position run contiguously. Compared to a node-based map of vectors this
+/// is one cache miss per probe, allocation-free after Build(), and safely
+/// shareable read-only across engines and worker threads.
 class HashIndex {
  public:
-  void Add(uint64_t key, int32_t pos) { map_[key].push_back(pos); }
+  /// A key's ascending position run inside the shared arena. Empty (count
+  /// 0) when the key is absent.
+  struct Postings {
+    const int32_t* data = nullptr;
+    size_t count = 0;
 
-  /// The ascending position list for `key` (nullptr if no match).
-  const std::vector<int32_t>* Find(uint64_t key) const {
-    auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+    const int32_t* begin() const { return data; }
+    const int32_t* end() const { return data + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    int32_t operator[](size_t i) const { return data[i]; }
+  };
+
+  /// Stages one (key, position) pair. Positions for a given key must be
+  /// added in ascending order (pre-processing scans positions 0..n), and
+  /// all adds must precede Build() — a late Add would be silently dropped.
+  void Add(uint64_t key, int32_t pos) {
+    assert(!built_ && "HashIndex::Add after Build() would be dropped");
+    staged_.emplace_back(key, pos);
   }
-  size_t num_keys() const { return map_.size(); }
+
+  /// Freezes the staged pairs into the probe table + postings arena.
+  /// Idempotent; must be called before Find().
+  void Build();
+
+  /// The ascending position run for `key` (empty if no match).
+  Postings Find(uint64_t key) const {
+    assert(built_ && "HashIndex::Find before Build() misses every key");
+    if (slots_.empty()) return {};
+    size_t i = HashMix64(key) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.len == 0) return {};
+      if (s.key == key) return {arena_.data() + s.offset, s.len};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t num_keys() const { return num_keys_; }
+  /// Exact heap footprint of the frozen index.
+  size_t bytes() const {
+    return arena_.capacity() * sizeof(int32_t) +
+           slots_.capacity() * sizeof(Slot) +
+           staged_.capacity() * sizeof(std::pair<uint64_t, int32_t>);
+  }
 
  private:
-  std::unordered_map<uint64_t, std::vector<int32_t>> map_;
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t offset = 0;
+    uint32_t len = 0;  // 0 = empty slot (every real key has >= 1 posting)
+  };
+
+  std::vector<std::pair<uint64_t, int32_t>> staged_;  // cleared by Build()
+  std::vector<Slot> slots_;
+  std::vector<int32_t> arena_;
+  size_t mask_ = 0;
+  size_t num_keys_ = 0;
+  bool built_ = false;
 };
 
 /// Join key of a cell, normalized so that any two equality-joinable columns

@@ -1,0 +1,128 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/hash_util.h"
+
+namespace skinner {
+
+namespace {
+constexpr size_t kInitialTableCap = 16;  // slots; power of two
+
+size_t RoundUpPow2(int n) {
+  size_t p = 1;
+  while (p < static_cast<size_t>(n < 1 ? 1 : n)) p <<= 1;
+  return p;
+}
+
+uint64_t HashTupleOf(const int32_t* tuple, int width) {
+  uint64_t seed = static_cast<uint64_t>(width);
+  for (int i = 0; i < width; ++i) {
+    HashCombine(&seed, static_cast<uint64_t>(static_cast<uint32_t>(tuple[i])));
+  }
+  return seed;
+}
+}  // namespace
+
+ResultSet::ResultSet(int width, int num_shards)
+    : width_(width),
+      striped_(num_shards > 1),
+      shards_(RoundUpPow2(num_shards)),
+      shard_mask_(shards_.size() - 1) {}
+
+size_t ResultSet::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) n += s.count;
+  return n;
+}
+
+size_t ResultSet::bytes() const {
+  size_t b = 0;
+  for (const Shard& s : shards_) {
+    b += s.buffer.capacity() * sizeof(int32_t) +
+         s.table.capacity() * sizeof(uint32_t);
+  }
+  return b;
+}
+
+void ResultSet::Append(const int32_t* tuple) {
+  Shard& s = shards_[0];
+  // Append bypasses the dedup table and the stripe locks: mixing it with
+  // Insert() on one instance would hide duplicates from later Inserts, and
+  // appending into a striped (concurrent) set is a data race.
+  assert(!striped_ && s.table.empty() &&
+         "ResultSet::Append on a striped or deduplicating instance");
+  s.buffer.insert(s.buffer.end(), tuple, tuple + width_);
+  ++s.count;
+}
+
+uint64_t ResultSet::HashTuple(const int32_t* tuple) const {
+  return HashTupleOf(tuple, width_);
+}
+
+void ResultSet::GrowShardTable(Shard* shard, int width) {
+  size_t cap = shard->table.empty() ? kInitialTableCap : shard->table.size() * 2;
+  std::vector<uint32_t> fresh(cap, 0);
+  const size_t mask = cap - 1;
+  for (uint32_t entry : shard->table) {
+    if (entry == 0) continue;
+    const int32_t* t =
+        shard->buffer.data() + static_cast<size_t>(entry - 1) * width;
+    size_t i = HashTupleOf(t, width) & mask;
+    while (fresh[i] != 0) i = (i + 1) & mask;
+    fresh[i] = entry;
+  }
+  shard->table = std::move(fresh);
+}
+
+bool ResultSet::InsertIntoShard(Shard* shard, const int32_t* tuple,
+                                uint64_t hash) {
+  // Grow at 50% load so probe chains stay short.
+  if (shard->table.empty() || (shard->count + 1) * 2 > shard->table.size()) {
+    GrowShardTable(shard, width_);
+  }
+  const size_t mask = shard->table.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    uint32_t entry = shard->table[i];
+    if (entry == 0) {
+      shard->buffer.insert(shard->buffer.end(), tuple, tuple + width_);
+      ++shard->count;
+      shard->table[i] = static_cast<uint32_t>(shard->count);  // index + 1
+      return true;
+    }
+    const int32_t* stored =
+        shard->buffer.data() + static_cast<size_t>(entry - 1) * width_;
+    if (std::memcmp(stored, tuple, sizeof(int32_t) * static_cast<size_t>(
+                                       width_)) == 0) {
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+bool ResultSet::Insert(const int32_t* tuple) {
+  uint64_t hash = HashTuple(tuple);
+  Shard& shard = shards_[hash & shard_mask_];
+  if (!striped_) return InsertIntoShard(&shard, tuple, hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return InsertIntoShard(&shard, tuple, hash);
+}
+
+std::vector<PosTuple> ResultSet::ToVector() const {
+  std::vector<PosTuple> out;
+  out.reserve(size());
+  ForEach([&](const int32_t* t) { out.emplace_back(t, t + width_); });
+  return out;
+}
+
+void ResultSet::ExportSorted(std::vector<PosTuple>* out) const {
+  std::vector<PosTuple> all = ToVector();
+  std::sort(all.begin(), all.end());
+  out->reserve(out->size() + all.size());
+  for (PosTuple& t : all) out->push_back(std::move(t));
+}
+
+}  // namespace skinner

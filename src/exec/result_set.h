@@ -1,0 +1,96 @@
+#ifndef SKINNER_EXEC_RESULT_SET_H_
+#define SKINNER_EXEC_RESULT_SET_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace skinner {
+
+/// A join result tuple: one filtered position per table, in table order.
+using PosTuple = std::vector<int32_t>;
+
+/// Compact join-result accumulator shared by every engine (paper Figure 2:
+/// the join phase emits tuple-index vectors). Tuples are fixed-width
+/// int32_t position vectors stored back to back in a flat buffer — no
+/// per-tuple allocation, exact byte accounting, cache-friendly scans.
+///
+/// Two ingestion modes:
+///  - Append(): plain ordered append (Skinner-G/H commits, baselines,
+///    forced-order engines — each tuple is produced exactly once).
+///  - Insert(): append-if-absent via an open-addressing probe table over
+///    the buffer (Skinner-C, which may re-emit tuples when resuming from a
+///    shared-prefix frontier, paper 4.5).
+///
+/// Concurrency: construct with `num_shards > 1` and Insert() becomes
+/// thread-safe — tuples are routed by hash to one of `num_shards`
+/// sub-stores, each guarded by its own mutex (a striped lock), which is
+/// how parallel Skinner-C workers share one result set (paper 4.4).
+/// Append() and all readers are single-threaded by contract.
+class ResultSet {
+ public:
+  /// `width`: ints per tuple (= number of tables). `num_shards` must be a
+  /// power of two; shards beyond 1 enable the striped-lock Insert path.
+  explicit ResultSet(int width, int num_shards = 1);
+
+  int width() const { return width_; }
+
+  /// Total tuples stored (distinct tuples under Insert()).
+  size_t size() const;
+
+  /// Exact heap footprint (buffers + probe tables).
+  size_t bytes() const;
+
+  /// Appends without dedup. Single-threaded.
+  void Append(const int32_t* tuple);
+  void Append(const PosTuple& tuple) { Append(tuple.data()); }
+
+  /// Appends `tuple` unless an equal tuple is already stored; returns true
+  /// if the tuple was new. Thread-safe iff num_shards > 1.
+  bool Insert(const int32_t* tuple);
+  bool Insert(const PosTuple& tuple) { return Insert(tuple.data()); }
+
+  /// Visits every stored tuple as a const int32_t* of `width` ints, in
+  /// shard order (= insertion order for single-shard sets).
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      for (size_t off = 0; off + static_cast<size_t>(width_) <= s.buffer.size();
+           off += static_cast<size_t>(width_)) {
+        fn(s.buffer.data() + off);
+      }
+    }
+  }
+
+  /// Materializes all tuples (ForEach order).
+  std::vector<PosTuple> ToVector() const;
+
+  /// Appends all tuples to `out` in canonical (lexicographically sorted)
+  /// order — deterministic regardless of shard count or thread schedule.
+  void ExportSorted(std::vector<PosTuple>* out) const;
+
+ private:
+  struct Shard {
+    std::vector<int32_t> buffer;   // width-strided tuples
+    std::vector<uint32_t> table;   // tuple index + 1; 0 = empty (Insert only)
+    size_t count = 0;
+    std::mutex mu;
+
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+  };
+
+  uint64_t HashTuple(const int32_t* tuple) const;
+  bool InsertIntoShard(Shard* shard, const int32_t* tuple, uint64_t hash);
+  static void GrowShardTable(Shard* shard, int width);
+
+  int width_;
+  bool striped_;  // lock shards on Insert
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_EXEC_RESULT_SET_H_

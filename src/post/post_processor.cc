@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace skinner {
 
@@ -68,7 +67,7 @@ struct SortKeyLess {
 }  // namespace
 
 Result<QueryResult> PostProcess(const PreparedQuery& pq,
-                                const std::vector<PosTuple>& join_result) {
+                                const ResultSet& join_result) {
   const BoundQuery& q = pq.query();
   const int m = pq.num_tables();
   QueryResult out;
@@ -77,7 +76,7 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
   // Row binding helper: positions -> base rows.
   std::vector<int64_t> binding(static_cast<size_t>(m), 0);
   EvalContext ctx = pq.MakeEvalContext(binding.data());
-  auto bind_tuple = [&](const PosTuple& tuple) {
+  auto bind_tuple = [&](const int32_t* tuple) {
     for (int t = 0; t < m; ++t) {
       binding[static_cast<size_t>(t)] =
           pq.base_row(t, tuple[static_cast<size_t>(t)]);
@@ -103,7 +102,7 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
     };
     std::map<std::string, Group> groups;  // ordered => deterministic output
 
-    for (const PosTuple& tuple : join_result) {
+    join_result.ForEach([&](const int32_t* tuple) {
       bind_tuple(tuple);
       std::string key;
       std::vector<Value> gvals;
@@ -117,7 +116,7 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
       if (it == groups.end()) {
         Group grp;
         grp.group_values = std::move(gvals);
-        grp.representative = tuple;
+        grp.representative.assign(tuple, tuple + m);
         grp.accs.reserve(agg_nodes.size());
         for (const Expr* a : agg_nodes) grp.accs.emplace_back(a->agg);
         it = groups.emplace(std::move(key), std::move(grp)).first;
@@ -131,7 +130,7 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
           grp.accs[i].Add(EvalExpr(*a->children[0], ctx));
         }
       }
-    }
+    });
 
     // A global aggregate over zero rows still yields one output row.
     if (groups.empty() && q.group_by.empty()) {
@@ -143,8 +142,8 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
 
     for (auto& [key, grp] : groups) {
       // Bind a representative tuple for the group's non-aggregate parts.
-      bool have_rows = !join_result.empty() || !q.group_by.empty();
-      if (have_rows) bind_tuple(grp.representative);
+      bool have_rows = join_result.size() != 0 || !q.group_by.empty();
+      if (have_rows) bind_tuple(grp.representative.data());
       std::unordered_map<const Expr*, Value> agg_values;
       for (size_t i = 0; i < agg_nodes.size(); ++i) {
         agg_values[agg_nodes[i]] = grp.accs[i].Finish();
@@ -163,7 +162,7 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
       sort_keys.push_back(std::move(keys));
     }
   } else {
-    for (const PosTuple& tuple : join_result) {
+    join_result.ForEach([&](const int32_t* tuple) {
       bind_tuple(tuple);
       std::vector<Value> row;
       row.reserve(q.select.size());
@@ -173,21 +172,29 @@ Result<QueryResult> PostProcess(const PreparedQuery& pq,
       for (const auto& o : q.order_by) keys.push_back(EvalExpr(*o.expr, ctx));
       out.rows.push_back(std::move(row));
       sort_keys.push_back(std::move(keys));
-    }
+    });
   }
 
-  // DISTINCT.
+  // DISTINCT: hashed value keys route each row to a bucket of candidate
+  // duplicates, and exact value comparison decides — no string
+  // serialization materialized per row, and no hash-collision risk.
   if (q.distinct) {
-    std::unordered_set<std::string> seen;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
     std::vector<std::vector<Value>> rows;
     std::vector<std::vector<Value>> keys;
     for (size_t i = 0; i < out.rows.size(); ++i) {
-      std::string key;
-      for (const Value& v : out.rows[i]) SerializeValueKey(v, &key);
-      if (seen.insert(std::move(key)).second) {
-        rows.push_back(std::move(out.rows[i]));
-        keys.push_back(std::move(sort_keys[i]));
+      std::vector<size_t>& bucket = buckets[HashRowKey(out.rows[i])];
+      bool dup = false;
+      for (size_t kept : bucket) {
+        if (RowsEqualForDistinct(rows[kept], out.rows[i])) {
+          dup = true;
+          break;
+        }
       }
+      if (dup) continue;
+      bucket.push_back(rows.size());
+      rows.push_back(std::move(out.rows[i]));
+      keys.push_back(std::move(sort_keys[i]));
     }
     out.rows = std::move(rows);
     sort_keys = std::move(keys);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/volcano.h"
+#include "exec/result_set.h"
 #include "post/aggregates.h"
 
 namespace skinner {
@@ -19,7 +20,7 @@ struct QueryResult {
 /// vectors — into the final result, applying projection, grouping,
 /// aggregation, DISTINCT, ORDER BY and LIMIT.
 Result<QueryResult> PostProcess(const PreparedQuery& pq,
-                                const std::vector<PosTuple>& join_result);
+                                const ResultSet& join_result);
 
 }  // namespace skinner
 

@@ -6,21 +6,9 @@
 #include <memory>
 #include <vector>
 
+#include "engine/multiway_join.h"
+
 namespace skinner {
-
-/// Suspended execution state of the multiway join for one join order
-/// (paper 4.5): the DFS depth plus the candidate position at every depth
-/// <= depth. Positions live in join-order space: pos[d] indexes the
-/// filtered rows of table order[d]. This tiny vector is the *entire*
-/// execution state — the property that makes join order switching cheap.
-struct JoinState {
-  int depth = 0;
-  std::vector<int64_t> pos;
-
-  bool operator==(const JoinState& o) const {
-    return depth == o.depth && pos == o.pos;
-  }
-};
 
 /// Progress store for all join orders tried so far (the paper's progress
 /// tracker, Figure 2). A trie over join-order prefixes; each node stores

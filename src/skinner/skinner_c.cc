@@ -12,6 +12,10 @@ UctOptions MakeUctOptions(const SkinnerCOptions& opts) {
   u.seed = opts.seed;
   return u;
 }
+
+/// Result-set shards for the parallel striped-lock Insert path. More
+/// stripes than typical worker counts keeps contention negligible.
+constexpr int kParallelShards = 16;
 }  // namespace
 
 SkinnerCEngine::SkinnerCEngine(const PreparedQuery* pq,
@@ -19,35 +23,72 @@ SkinnerCEngine::SkinnerCEngine(const PreparedQuery* pq,
     : pq_(pq),
       opts_(opts),
       uct_(&pq->info(), MakeUctOptions(opts)),
-      progress_(pq->num_tables()),
-      offset_(static_cast<size_t>(pq->num_tables()), 0) {}
+      result_(pq->num_tables(), opts.num_threads > 1 ? kParallelShards : 1) {}
 
-JoinCursor* SkinnerCEngine::CursorFor(const std::vector<int>& order) {
-  auto it = cursors_.find(order);
-  if (it != cursors_.end()) return it->second.get();
+SkinnerCEngine::~SkinnerCEngine() { StopThreads(); }
+
+void SkinnerCEngine::InitWorkers() {
+  const int m = pq_->num_tables();
+  const int T = std::max(1, opts_.num_threads);
+  zero_lower_.assign(static_cast<size_t>(m), 0);
+  workers_.reserve(static_cast<size_t>(T));
+  for (int j = 0; j < T; ++j) {
+    auto w = std::make_unique<Worker>(m);
+    w->id = j;
+    w->stripe_lo.resize(static_cast<size_t>(m));
+    w->stripe_hi.resize(static_cast<size_t>(m));
+    w->offset.resize(static_cast<size_t>(m));
+    for (int t = 0; t < m; ++t) {
+      int64_t card = pq_->cardinality(t);
+      w->stripe_lo[static_cast<size_t>(t)] = card * j / T;
+      w->stripe_hi[static_cast<size_t>(t)] = card * (j + 1) / T;
+      w->offset[static_cast<size_t>(t)] = w->stripe_lo[static_cast<size_t>(t)];
+    }
+    workers_.push_back(std::move(w));
+  }
+}
+
+VirtualClock* SkinnerCEngine::WorkerClock(Worker* w) {
+  // Sequential execution charges the shared clock directly; parallel
+  // workers tick private clocks that the coordinator merges per slice
+  // under the wall-clock model (max across workers), mirroring how the
+  // paper reports parallel speedups.
+  return workers_.size() > 1 ? &w->clock : pq_->clock();
+}
+
+JoinCursor* SkinnerCEngine::CursorFor(Worker* w, const std::vector<int>& order) {
+  auto it = w->cursors.find(order);
+  if (it != w->cursors.end()) return it->second.get();
   auto cursor = std::make_unique<JoinCursor>(pq_, BuildJoinSteps(*pq_, order));
+  if (workers_.size() > 1) cursor->SetClock(&w->clock);
   JoinCursor* ptr = cursor.get();
-  cursors_.emplace(order, std::move(cursor));
+  w->cursors.emplace(order, std::move(cursor));
   return ptr;
 }
 
-JoinState SkinnerCEngine::RestoreState(const std::vector<int>& order,
+JoinState SkinnerCEngine::RestoreState(Worker* w, const std::vector<int>& order,
                                        JoinCursor* cursor) {
   JoinState state;
   state.pos.assign(order.size(), -1);
-  bool restored = progress_.Restore(order, &state);
+  bool restored = w->progress.Restore(order, &state);
+  const int t0 = order[0];
   if (!restored) {
     state.depth = 0;
-    state.pos[0] = offset_[static_cast<size_t>(order[0])];
-    if (state.pos[0] >= pq_->cardinality(order[0])) state.pos[0] = -1;
+    state.pos[0] = w->offset[static_cast<size_t>(t0)];
+    if (state.pos[0] >= w->stripe_hi[static_cast<size_t>(t0)]) state.pos[0] = -1;
     return state;
   }
   // Fast-forward past offsets: tuples below offset[t] are fully joined
   // already. Walk depths in order; at the first position that fell behind
   // an advanced offset, re-derive the candidate and truncate the state.
+  // With multiple workers only the leftmost depth may fast-forward: a
+  // worker's offsets cover its own stripes, while deeper descends scan the
+  // full range, so positions below another worker's stripe are not known
+  // to be complete.
+  const bool single = workers_.size() == 1;
   for (int d = 0; d <= state.depth; ++d) {
     int t = order[static_cast<size_t>(d)];
-    int64_t off = offset_[static_cast<size_t>(t)];
+    int64_t off = (d == 0 || single) ? w->offset[static_cast<size_t>(t)] : 0;
     if (state.pos[static_cast<size_t>(d)] < off) {
       state.pos[static_cast<size_t>(d)] = cursor->FirstCandidate(d, off);
       state.depth = d;
@@ -58,93 +99,10 @@ JoinState SkinnerCEngine::RestoreState(const std::vector<int>& order,
   return state;
 }
 
-bool SkinnerCEngine::ContinueJoin(const std::vector<int>& order,
-                                  JoinCursor* cursor, JoinState* state,
-                                  int64_t budget) {
-  const int m = static_cast<int>(order.size());
-  VirtualClock* clock = pq_->clock();
-  int i = state->depth;
-  auto& pos = state->pos;
-  // Bind all prefix tables (positions < depth passed checks before
-  // suspension; depth's own candidate is tested in the loop).
-  for (int d = 0; d < i; ++d) cursor->Bind(d, pos[static_cast<size_t>(d)]);
-
-  PosTuple tuple(static_cast<size_t>(pq_->num_tables()), -1);
-  int64_t steps = 0;
-  bool done = false;
-  while (true) {
-    if (i < 0) {
-      done = true;
-      break;
-    }
-    if (steps >= budget) break;
-    ++steps;
-    clock->Tick();
-    int64_t p = pos[static_cast<size_t>(i)];
-    if (p < 0) {
-      // Exhausted at depth i: backtrack.
-      if (i == 0) {
-        // Leftmost exhausted: every tuple of order[0] fully joined.
-        offset_[static_cast<size_t>(order[0])] = pq_->cardinality(order[0]);
-        done = true;
-        i = -1;
-        break;
-      }
-      --i;
-      int64_t old = pos[static_cast<size_t>(i)];
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
-      if (i == 0) {
-        // Position `old` of the leftmost table is now fully processed.
-        offset_[static_cast<size_t>(order[0])] =
-            std::max(offset_[static_cast<size_t>(order[0])], old + 1);
-      }
-      continue;
-    }
-    cursor->Bind(i, p);
-    if (!cursor->Check(i)) {
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
-      continue;
-    }
-    ++stats_.intermediate_tuples;
-    if (i == m - 1) {
-      for (int d = 0; d < m; ++d) {
-        tuple[static_cast<size_t>(order[static_cast<size_t>(d)])] =
-            static_cast<int32_t>(pos[static_cast<size_t>(d)]);
-      }
-      result_.insert(tuple);
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
-      continue;
-    }
-    ++i;
-    pos[static_cast<size_t>(i)] = cursor->FirstCandidate(
-        i, offset_[static_cast<size_t>(order[static_cast<size_t>(i)])]);
-  }
-  if (!done) {
-    // Normalize the suspension point: resolve any pending backtracks so the
-    // stored state has a valid candidate at every depth (keeps progress
-    // frontiers meaningful).
-    while (i >= 0 && pos[static_cast<size_t>(i)] < 0) {
-      if (i == 0) {
-        offset_[static_cast<size_t>(order[0])] = pq_->cardinality(order[0]);
-        done = true;
-        i = -1;
-        break;
-      }
-      --i;
-      int64_t old = pos[static_cast<size_t>(i)];
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
-      if (i == 0) {
-        offset_[static_cast<size_t>(order[0])] =
-            std::max(offset_[static_cast<size_t>(order[0])], old + 1);
-      }
-    }
-  }
-  state->depth = std::max(i, 0);
-  return done;
-}
-
-double SkinnerCEngine::ProgressValue(const std::vector<int>& order,
+double SkinnerCEngine::ProgressValue(const Worker& w,
+                                     const std::vector<int>& order,
                                      const JoinState& state) const {
+  (void)w;
   // Paper 4.5: sum of tuple index deltas, each scaled down by the product
   // of the cardinalities of its table and all preceding tables. Computed
   // here as an absolute potential; the reward is the per-slice increase.
@@ -161,13 +119,133 @@ double SkinnerCEngine::ProgressValue(const std::vector<int>& order,
   return value;
 }
 
-Status SkinnerCEngine::Run(std::vector<PosTuple>* out) {
+double SkinnerCEngine::RewardPotential(const Worker& w,
+                                       const std::vector<int>& order,
+                                       const JoinState& state) const {
+  if (opts_.reward == RewardKind::kWeightedProgress) {
+    return ProgressValue(w, order, state);
+  }
+  return state.pos[0] < 0
+             ? 1.0
+             : static_cast<double>(state.pos[0]) /
+                   static_cast<double>(
+                       std::max<int64_t>(pq_->cardinality(order[0]), 1));
+}
+
+void SkinnerCEngine::RunWorkerSlice(Worker* w, const std::vector<int>& order) {
+  const int t0 = order[0];
+  JoinCursor* cursor = CursorFor(w, order);
+  JoinState state = RestoreState(w, order, cursor);
+
+  double before = RewardPotential(*w, order, state);
+
+  MultiwayJoinSpec spec;
+  spec.left_to = w->stripe_hi[static_cast<size_t>(t0)];
+  spec.lower =
+      workers_.size() == 1 ? w->offset.data() : zero_lower_.data();
+  spec.budget = opts_.slice_budget;
+  spec.charge_backtrack = true;
+  spec.clock = WorkerClock(w);
+
+  JoinLoopExit exit = MultiwayJoinLoop(
+      cursor, order, spec, &state, &w->loop_stats,
+      [&](const PosTuple& tuple) { result_.Insert(tuple); },
+      [&](int64_t p) {
+        int64_t& off = w->offset[static_cast<size_t>(t0)];
+        off = std::max(off, p);
+      });
+  bool done = exit == JoinLoopExit::kCompleted;
+  double after = done ? 1.0 : RewardPotential(*w, order, state);
+  w->slice_reward = std::clamp(after - before, 0.0, 1.0);
+  w->slice_done = done;
+  if (!done) w->progress.Backup(order, state);
+}
+
+bool SkinnerCEngine::CompletedTable() const {
+  const int m = pq_->num_tables();
+  for (int t = 0; t < m; ++t) {
+    bool all = true;
+    for (const auto& w : workers_) {
+      if (w->offset[static_cast<size_t>(t)] <
+          w->stripe_hi[static_cast<size_t>(t)]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+size_t SkinnerCEngine::AuxiliaryBytes() const {
+  const size_t m = static_cast<size_t>(pq_->num_tables());
+  size_t progress_nodes = 0;
+  for (const auto& w : workers_) progress_nodes += w->progress.num_nodes();
+  return result_.bytes() +
+         progress_nodes * (sizeof(void*) * 4 + sizeof(int64_t) * m / 2) +
+         uct_.num_nodes() * (sizeof(void*) * 4 + 24 * m / 2);
+}
+
+void SkinnerCEngine::StartThreads() {
+  threads_.reserve(workers_.size());
+  for (auto& w : workers_) {
+    threads_.emplace_back([this, worker = w.get()] { WorkerMain(worker); });
+  }
+}
+
+void SkinnerCEngine::StopThreads() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  shutdown_ = false;
+}
+
+void SkinnerCEngine::DispatchSlice(const std::vector<int>& order) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slice_order_ = &order;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void SkinnerCEngine::WorkerMain(Worker* w) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::vector<int> order;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      order = *slice_order_;
+    }
+    RunWorkerSlice(w, order);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status SkinnerCEngine::Run(ResultSet* out) {
   if (pq_->trivially_empty()) {
     stats_.final_order = uct_.BestOrder();
     return Status::OK();
   }
-  const int m = pq_->num_tables();
+  InitWorkers();
   VirtualClock* clock = pq_->clock();
+  const size_t T = workers_.size();
+  if (T > 1) StartThreads();
 
   while (!finished_) {
     if (clock->now() >= opts_.deadline) {
@@ -175,63 +253,66 @@ Status SkinnerCEngine::Run(std::vector<PosTuple>* out) {
       break;
     }
     // Any table fully consumed as a leftmost table => result complete.
-    for (int t = 0; t < m; ++t) {
-      if (offset_[static_cast<size_t>(t)] >= pq_->cardinality(t)) {
-        finished_ = true;
-      }
+    if (CompletedTable()) {
+      finished_ = true;
+      break;
     }
-    if (finished_) break;
 
     std::vector<int> order = uct_.Choose();
-    JoinCursor* cursor = CursorFor(order);
-    JoinState state = RestoreState(order, cursor);
-    double before = 0;
-    if (opts_.reward == RewardKind::kWeightedProgress) {
-      before = ProgressValue(order, state);
+    if (T == 1) {
+      RunWorkerSlice(workers_[0].get(), order);
     } else {
-      before = state.pos[0] < 0
-                   ? 1.0
-                   : static_cast<double>(state.pos[0]) /
-                         static_cast<double>(std::max<int64_t>(
-                             pq_->cardinality(order[0]), 1));
+      DispatchSlice(order);
+      // Merge worker effort under the wall-clock model: the slice costs
+      // what the slowest worker spent.
+      uint64_t max_delta = 0;
+      for (auto& w : workers_) {
+        uint64_t delta = w->clock.now() - w->merged_clock;
+        w->merged_clock = w->clock.now();
+        max_delta = std::max(max_delta, delta);
+      }
+      clock->Tick(max_delta);
     }
-    bool done = ContinueJoin(order, cursor, &state, opts_.slice_budget);
-    double after;
-    if (done) {
-      after = 1.0;
-    } else if (opts_.reward == RewardKind::kWeightedProgress) {
-      after = ProgressValue(order, state);
-    } else {
-      after = state.pos[0] < 0
-                  ? 1.0
-                  : static_cast<double>(state.pos[0]) /
-                        static_cast<double>(std::max<int64_t>(
-                            pq_->cardinality(order[0]), 1));
+
+    // Merge rewards into the one shared UCT tree (paper 4.4): the slice's
+    // reward is the mean of the per-stripe rewards, accumulated in worker
+    // order so learning stays deterministic.
+    double reward = 0;
+    bool all_done = true;
+    for (auto& w : workers_) {
+      reward += w->slice_reward;
+      all_done = all_done && w->slice_done;
     }
-    double reward = std::clamp(after - before, 0.0, 1.0);
+    reward /= static_cast<double>(T);
     uct_.RewardUpdate(order, reward);
-    if (!done) progress_.Backup(order, state);
     ++stats_.slices;
     if (opts_.collect_trace) {
       stats_.order_selections[order] += 1;
       if (stats_.slices % 16 == 1) {
         stats_.tree_growth.emplace_back(stats_.slices, uct_.num_nodes());
       }
+      stats_.aux_bytes_trace.push_back(AuxiliaryBytes());
     }
-    if (done) finished_ = true;
+    if (all_done) finished_ = true;
   }
+  if (T > 1) StopThreads();
 
   stats_.uct_nodes = uct_.num_nodes();
-  stats_.progress_nodes = progress_.num_nodes();
+  stats_.progress_nodes = 0;
+  stats_.intermediate_tuples = 0;
+  for (const auto& w : workers_) {
+    stats_.progress_nodes += w->progress.num_nodes();
+    stats_.intermediate_tuples += w->loop_stats.intermediate_tuples;
+  }
   stats_.result_tuples = result_.size();
   stats_.final_order = uct_.BestOrder();
-  stats_.auxiliary_bytes =
-      result_.size() * (sizeof(PosTuple) + sizeof(int32_t) * static_cast<size_t>(m)) +
-      stats_.progress_nodes * (sizeof(void*) * 4 + sizeof(int64_t) * static_cast<size_t>(m) / 2) +
-      stats_.uct_nodes * (sizeof(void*) * 4 + 24 * static_cast<size_t>(m) / 2);
+  stats_.auxiliary_bytes = AuxiliaryBytes();
 
-  out->reserve(out->size() + result_.size());
-  for (const PosTuple& t : result_) out->push_back(t);
+  // Canonical export: sorted position tuples, so the emitted rows are
+  // bit-identical regardless of thread count or shard layout.
+  std::vector<PosTuple> sorted;
+  result_.ExportSorted(&sorted);
+  for (const PosTuple& t : sorted) out->Append(t);
   return Status::OK();
 }
 

@@ -1,14 +1,16 @@
 #ifndef SKINNER_SKINNER_SKINNER_C_H_
 #define SKINNER_SKINNER_SKINNER_C_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <unordered_set>
+#include <mutex>
+#include <thread>
 #include <vector>
 
-#include "common/hash_util.h"
-#include "engine/volcano.h"
+#include "engine/multiway_join.h"
+#include "exec/result_set.h"
 #include "skinner/progress.h"
 #include "uct/uct.h"
 
@@ -40,6 +42,14 @@ struct SkinnerCOptions {
   uint64_t deadline = UINT64_MAX;
   /// Record per-slice convergence data (paper Figure 7); costs memory.
   bool collect_trace = false;
+  /// Search-parallel Skinner-C (paper Section 4.4): worker threads own
+  /// static stripes of every table's position range; each slice, all
+  /// workers execute the same UCT-selected order on their stripe of the
+  /// leftmost table, rewards are merged (averaged) into the one shared
+  /// tree, and results land in the shared striped-lock result set. The
+  /// result is exact and identical (in canonical order) for any thread
+  /// count. 1 = sequential.
+  int num_threads = 1;
 };
 
 struct SkinnerCStats {
@@ -56,48 +66,107 @@ struct SkinnerCStats {
   std::vector<std::pair<uint64_t, size_t>> tree_growth;
   /// Slice count per distinct join order chosen; trace only.
   std::map<std::vector<int>, uint64_t> order_selections;
-  /// Approximate bytes held in result set + progress tree + UCT tree.
+  /// Bytes held in result set (exact — the flat ResultSet tracks its own
+  /// footprint) plus estimated progress-tree and UCT-tree node costs.
   size_t auxiliary_bytes = 0;
+  /// Per-slice auxiliary_bytes samples (trace only). Monotone
+  /// non-decreasing: all three structures are append-only.
+  std::vector<size_t> aux_bytes_trace;
 };
 
 /// Skinner-C (paper Section 4.5, Algorithms 2+3): regret-bounded query
-/// evaluation on a customized engine. Executes the multiway depth-first
-/// join in small slices; a UCT policy picks the join order per slice;
-/// per-table tuple offsets plus a shared-prefix progress tree preserve and
-/// share progress across orders; rewards measure per-slice progress.
+/// evaluation on a customized engine. Drives the shared
+/// engine/multiway_join step loop in small slices; a UCT policy picks the
+/// join order per slice; per-table tuple offsets plus a shared-prefix
+/// progress tree preserve and share progress across orders; rewards
+/// measure per-slice progress. With num_threads > 1 the leftmost table's
+/// range is partitioned across search workers (paper 4.4).
 class SkinnerCEngine {
  public:
   SkinnerCEngine(const PreparedQuery* pq, const SkinnerCOptions& opts);
+  ~SkinnerCEngine();
+  SkinnerCEngine(const SkinnerCEngine&) = delete;
+  SkinnerCEngine& operator=(const SkinnerCEngine&) = delete;
 
-  /// Runs to completion (or deadline); appends result position tuples.
-  Status Run(std::vector<PosTuple>* out);
+  /// Runs to completion (or deadline); appends result position tuples in
+  /// canonical (lexicographically sorted) order — bit-identical for any
+  /// num_threads.
+  Status Run(ResultSet* out);
 
   const SkinnerCStats& stats() const { return stats_; }
 
  private:
-  /// Executes `order` from `state` until the slice budget is exhausted or
-  /// the leftmost table is exhausted. Returns true if the join finished.
-  bool ContinueJoin(const std::vector<int>& order, JoinCursor* cursor,
-                    JoinState* state, int64_t budget);
+  /// One search worker: owns a static stripe [stripe_lo, stripe_hi) of
+  /// every table's position range (used when that table is leftmost), plus
+  /// all per-worker execution state. Sequential execution is the T=1
+  /// special case whose single worker owns every full range.
+  struct Worker {
+    int id = 0;
+    std::vector<int64_t> stripe_lo;  // per table
+    std::vector<int64_t> stripe_hi;  // per table
+    std::vector<int64_t> offset;     // per table: first not-fully-joined pos
+    ProgressTree progress;
+    std::map<std::vector<int>, std::unique_ptr<JoinCursor>> cursors;
+    VirtualClock clock;         // local; merged into the shared clock
+    uint64_t merged_clock = 0;  // portion of `clock` already merged
+    JoinLoopStats loop_stats;
+    double slice_reward = 0;
+    bool slice_done = false;
 
-  /// Resume state for `order`: stored progress fast-forwarded past the
-  /// current offsets, or a fresh start at offset[order[0]].
-  JoinState RestoreState(const std::vector<int>& order, JoinCursor* cursor);
+    explicit Worker(int num_tables) : progress(num_tables) {}
+  };
 
-  double ProgressValue(const std::vector<int>& order,
+  void InitWorkers();
+  JoinCursor* CursorFor(Worker* w, const std::vector<int>& order);
+  VirtualClock* WorkerClock(Worker* w);
+
+  /// Resume state for `order` on `w`'s stripe: stored progress
+  /// fast-forwarded past the worker's offsets, or a fresh start.
+  JoinState RestoreState(Worker* w, const std::vector<int>& order,
+                         JoinCursor* cursor);
+
+  /// Executes one budgeted slice of `order` on `w`'s stripe via the shared
+  /// multiway-join loop; records the slice reward and completion flag.
+  void RunWorkerSlice(Worker* w, const std::vector<int>& order);
+
+  double ProgressValue(const Worker& w, const std::vector<int>& order,
                        const JoinState& state) const;
 
-  JoinCursor* CursorFor(const std::vector<int>& order);
+  /// The slice reward potential of `state` under opts_.reward; the reward
+  /// is the clamped increase of this potential over the slice.
+  double RewardPotential(const Worker& w, const std::vector<int>& order,
+                         const JoinState& state) const;
+
+  /// True once some table's stripes are consumed by all workers (every
+  /// tuple of that table fully joined => result complete).
+  bool CompletedTable() const;
+
+  size_t AuxiliaryBytes() const;
+
+  // Parallel machinery (num_threads > 1): a persistent worker pool with a
+  // per-slice barrier, so UCT updates and clock merges stay deterministic.
+  void StartThreads();
+  void StopThreads();
+  void DispatchSlice(const std::vector<int>& order);
+  void WorkerMain(Worker* w);
 
   const PreparedQuery* pq_;
   SkinnerCOptions opts_;
   JoinOrderUct uct_;
-  ProgressTree progress_;
-  std::vector<int64_t> offset_;  // per table: first not-fully-joined position
-  std::unordered_set<PosTuple, VectorHash> result_;
-  std::map<std::vector<int>, std::unique_ptr<JoinCursor>> cursors_;
+  ResultSet result_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<int64_t> zero_lower_;  // descend lower bounds when T > 1
   SkinnerCStats stats_;
   bool finished_ = false;
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  const std::vector<int>* slice_order_ = nullptr;
+  bool shutdown_ = false;
 };
 
 }  // namespace skinner

@@ -64,7 +64,7 @@ std::vector<int64_t> SkinnerGEngine::MinPositions() const {
   return min_pos;
 }
 
-bool SkinnerGEngine::Step(uint64_t until, std::vector<PosTuple>* out) {
+bool SkinnerGEngine::Step(uint64_t until, ResultSet* out) {
   VirtualClock* clock = pq_->clock();
   // Termination: all batches of one table processed (Algorithm 1 line 17).
   for (size_t t = 0; t < batches_done_.size(); ++t) {
@@ -106,7 +106,7 @@ bool SkinnerGEngine::Step(uint64_t until, std::vector<PosTuple>* out) {
   if (r.completed) {
     ++stats_.successes;
     batches_done_[static_cast<size_t>(leftmost)] += 1;
-    for (auto& tup : scratch) out->push_back(std::move(tup));
+    for (const auto& tup : scratch) out->Append(tup);
     tree->RewardUpdate(order, 1.0);
   } else {
     tree->RewardUpdate(order, 0.0);
@@ -118,7 +118,7 @@ bool SkinnerGEngine::Step(uint64_t until, std::vector<PosTuple>* out) {
   return finished_;
 }
 
-bool SkinnerGEngine::RunUntil(uint64_t until, std::vector<PosTuple>* out) {
+bool SkinnerGEngine::RunUntil(uint64_t until, ResultSet* out) {
   VirtualClock* clock = pq_->clock();
   while (!finished_ && clock->now() < until) {
     if (clock->now() >= opts_.deadline) {
@@ -130,7 +130,7 @@ bool SkinnerGEngine::RunUntil(uint64_t until, std::vector<PosTuple>* out) {
   return finished_;
 }
 
-Status SkinnerGEngine::Run(std::vector<PosTuple>* out) {
+Status SkinnerGEngine::Run(ResultSet* out) {
   RunUntil(opts_.deadline, out);
   if (!finished_ && pq_->clock()->now() >= opts_.deadline) {
     stats_.timed_out = true;

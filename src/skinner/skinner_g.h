@@ -67,11 +67,11 @@ class SkinnerGEngine {
   SkinnerGEngine(const PreparedQuery* pq, const SkinnerGOptions& opts);
 
   /// Runs to completion (or deadline); appends committed result tuples.
-  Status Run(std::vector<PosTuple>* out);
+  Status Run(ResultSet* out);
 
   /// Runs until the virtual clock reaches `until` (for Skinner-H slices).
   /// Returns true if the query finished.
-  bool RunUntil(uint64_t until, std::vector<PosTuple>* out);
+  bool RunUntil(uint64_t until, ResultSet* out);
 
   /// True once all batches of some table have been processed.
   bool finished() const { return finished_; }
@@ -83,7 +83,7 @@ class SkinnerGEngine {
   const SkinnerGStats& stats() const { return stats_; }
 
  private:
-  bool Step(uint64_t until, std::vector<PosTuple>* out);  // one iteration
+  bool Step(uint64_t until, ResultSet* out);  // one iteration
   JoinOrderUct* TreeFor(int level);
 
   const PreparedQuery* pq_;

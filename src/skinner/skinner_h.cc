@@ -12,7 +12,7 @@ SkinnerHEngine::SkinnerHEngine(const PreparedQuery* pq,
       opts_(opts),
       learner_(pq, opts.g) {}
 
-Status SkinnerHEngine::Run(std::vector<PosTuple>* out) {
+Status SkinnerHEngine::Run(ResultSet* out) {
   VirtualClock* clock = pq_->clock();
   if (pq_->trivially_empty()) return Status::OK();
 
@@ -40,7 +40,7 @@ Status SkinnerHEngine::Run(std::vector<PosTuple>* out) {
       }
       ++stats_.optimizer_rounds;
       if (r.completed) {
-        for (auto& tup : scratch) out->push_back(std::move(tup));
+        for (const auto& tup : scratch) out->Append(tup);
         stats_.finished_by_optimizer = true;
         break;
       }

@@ -34,7 +34,7 @@ class SkinnerHEngine {
   SkinnerHEngine(const PreparedQuery* pq, std::vector<int> optimizer_order,
                  const SkinnerHOptions& opts);
 
-  Status Run(std::vector<PosTuple>* out);
+  Status Run(ResultSet* out);
 
   const SkinnerHStats& stats() const { return stats_; }
 

@@ -56,7 +56,7 @@ TEST_F(BaselinesTest, EddyProducesCompleteResult) {
   Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
   EddyOptions opts;
   EddyEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 30u);
   EXPECT_GT(engine.stats().routed_tuples, 0u);
@@ -68,10 +68,11 @@ TEST_F(BaselinesTest, EddyNoDuplicates) {
   EddyOptions opts;
   opts.epsilon = 0.5;  // heavy random routing
   EddyEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  std::vector<PosTuple> tuples = out.ToVector();
+  std::sort(tuples.begin(), tuples.end());
+  EXPECT_EQ(std::adjacent_find(tuples.begin(), tuples.end()), tuples.end());
   EXPECT_EQ(out.size(), 30u);
 }
 
@@ -88,7 +89,7 @@ TEST_F(BaselinesTest, EddyHandlesGenericPredicates) {
   Prepare("SELECT COUNT(*) FROM b, c WHERE close(b.k, c.k)");
   EddyOptions opts;
   EddyEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   // b.k in {0..4} x2, c.k in {0..4}; |k_b - k_c| <= 1: per b value v:
   // matches = #(c in {v-1,v,v+1} ∩ [0,4]). v=0:2, 1:3, 2:3, 3:3, 4:2 = 13;
@@ -101,7 +102,7 @@ TEST_F(BaselinesTest, EddyDeadline) {
   EddyOptions opts;
   opts.deadline = clock_.now() + 5;
   EddyEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_TRUE(engine.stats().timed_out);
 }
@@ -112,7 +113,7 @@ TEST_F(BaselinesTest, ReoptProducesCompleteResult) {
   Estimator est(&mgr);
   ReoptOptions opts;
   ReoptEngine engine(pq_.get(), &est, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 30u);
   EXPECT_EQ(engine.stats().executed_order.size(), 3u);
@@ -127,7 +128,7 @@ TEST_F(BaselinesTest, ReoptReplansOnBadEstimates) {
   ReoptOptions opts;
   opts.threshold = 1.01;
   ReoptEngine engine(pq_.get(), &est, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 30u);
 }
@@ -139,7 +140,7 @@ TEST_F(BaselinesTest, ReoptDeadline) {
   ReoptOptions opts;
   opts.deadline = clock_.now() + 3;
   ReoptEngine engine(pq_.get(), &est, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_TRUE(engine.stats().timed_out);
 }
@@ -149,7 +150,7 @@ TEST_F(BaselinesTest, SingleTableBothBaselines) {
   {
     EddyOptions opts;
     EddyEngine engine(pq_.get(), opts);
-    std::vector<PosTuple> out;
+    ResultSet out(pq_->num_tables());
     ASSERT_TRUE(engine.Run(&out).ok());
     EXPECT_EQ(out.size(), 5u);
   }
@@ -157,7 +158,7 @@ TEST_F(BaselinesTest, SingleTableBothBaselines) {
     StatsManager mgr;
     Estimator est(&mgr);
     ReoptEngine engine(pq_.get(), &est, ReoptOptions{});
-    std::vector<PosTuple> out;
+    ResultSet out(pq_->num_tables());
     ASSERT_TRUE(engine.Run(&out).ok());
     EXPECT_EQ(out.size(), 5u);
   }

@@ -1,0 +1,130 @@
+// Property tests for search-parallel Skinner-C (paper Section 4.4): for
+// any worker count, the engine must produce the exact same join result —
+// the canonical (sorted) tuple export is bit-identical and result_tuples
+// agrees — on adversarial torture-generator workloads. Runs under the
+// ThreadSanitizer CI job, which exercises the per-slice barrier, the
+// striped-lock result set, and the per-worker clocks for races.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/torture.h"
+#include "exec/prepared_query.h"
+#include "skinner/skinner_c.h"
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+using ::skinner::bench::CleanupTorture;
+using ::skinner::bench::GenerateTorture;
+using ::skinner::bench::TortureMode;
+using ::skinner::bench::TortureShape;
+using ::skinner::bench::TortureSpec;
+
+struct RunOutput {
+  std::vector<PosTuple> tuples;  // canonical order
+  uint64_t result_tuples = 0;
+  bool timed_out = false;
+};
+
+RunOutput RunSkinnerC(Database* db, const std::string& sql, int num_threads,
+                      int64_t slice_budget) {
+  RunOutput out;
+  auto bound = db->Bind(sql);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  if (!bound.ok()) return out;
+  auto info = QueryInfo::Analyze(*bound.value());
+  EXPECT_TRUE(info.ok());
+  VirtualClock clock;
+  auto pq = PreparedQuery::Prepare(bound.value().get(), &info.value(),
+                                   db->catalog()->string_pool(), &clock, {});
+  EXPECT_TRUE(pq.ok());
+  if (!pq.ok()) return out;
+
+  SkinnerCOptions opts;
+  opts.num_threads = num_threads;
+  opts.slice_budget = slice_budget;
+  SkinnerCEngine engine(pq.value().get(), opts);
+  ResultSet rs(pq.value()->num_tables());
+  EXPECT_TRUE(engine.Run(&rs).ok());
+  out.tuples = rs.ToVector();
+  out.result_tuples = engine.stats().result_tuples;
+  out.timed_out = engine.stats().timed_out;
+  return out;
+}
+
+class ParallelTortureTest
+    : public ::testing::TestWithParam<std::tuple<TortureMode, uint64_t>> {};
+
+TEST_P(ParallelTortureTest, ThreadCountsAgreeBitIdentical) {
+  const auto [mode, seed] = GetParam();
+  Database db;
+  TortureSpec spec;
+  spec.mode = mode;
+  spec.shape = seed % 2 == 0 ? TortureShape::kChain : TortureShape::kStar;
+  spec.num_tables = 4;
+  spec.rows_per_table = 40;
+  spec.bad_fanout = 3;
+  spec.seed = seed;
+  auto inst = GenerateTorture(&db, spec);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+
+  // A small budget forces many slices (and frontier-based re-emission,
+  // which the dedup set must absorb identically for every thread count).
+  for (int64_t budget : {7, 500}) {
+    RunOutput base = RunSkinnerC(&db, inst.value().sql, 1, budget);
+    ASSERT_FALSE(base.timed_out);
+    for (int threads : {2, 8}) {
+      RunOutput par = RunSkinnerC(&db, inst.value().sql, threads, budget);
+      ASSERT_FALSE(par.timed_out);
+      EXPECT_EQ(base.result_tuples, par.result_tuples)
+          << "threads=" << threads << " budget=" << budget;
+      EXPECT_EQ(base.tuples, par.tuples)
+          << "threads=" << threads << " budget=" << budget;
+    }
+  }
+  CleanupTorture(&db, inst.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ParallelTortureTest,
+    ::testing::Combine(::testing::Values(TortureMode::kUdf,
+                                         TortureMode::kCorrelated,
+                                         TortureMode::kTrivial),
+                       ::testing::Values(11u, 12u)));
+
+// Random SPJ databases (the cross-engine property harness) under thread
+// counts 1/2/8: counts agree with the single-threaded engine through the
+// full Database API, including post-processing.
+TEST(ParallelSkinnerApiTest, RandomQueriesAgreeAcrossThreadCounts) {
+  using ::skinner::testing::BuildRandomDb;
+  using ::skinner::testing::RandomCountQuery;
+  using ::skinner::testing::RandomDbSpec;
+  using ::skinner::testing::RunCount;
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Database db;
+    RandomDbSpec spec;
+    spec.seed = seed;
+    spec.num_tables = 4;
+    std::vector<std::string> tables;
+    ASSERT_TRUE(BuildRandomDb(&db, spec, &tables).ok());
+    Rng rng(seed * 977 + 5);
+    for (int q = 0; q < 4; ++q) {
+      std::string sql = RandomCountQuery(&rng, tables);
+      ExecOptions opts;
+      opts.engine = EngineKind::kSkinnerC;
+      opts.slice_budget = 9;
+      opts.skinner_threads = 1;
+      int64_t count1 = RunCount(&db, sql, opts);
+      for (int threads : {2, 8}) {
+        opts.skinner_threads = threads;
+        EXPECT_EQ(count1, RunCount(&db, sql, opts))
+            << sql << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skinner

@@ -110,6 +110,61 @@ TEST_F(PostProcessorTest, DistinctNormalizesNumerics) {
   EXPECT_EQ(out.value().result.rows.size(), 2u);
 }
 
+// Regression: -0.0 and +0.0 compare equal, so DISTINCT must collapse them
+// into one group. The old string-serialized keys used the raw double bit
+// pattern and kept them apart; the hashed-value-key dedup canonicalizes
+// signed zero (JoinKeyOf-style) and verifies with exact value comparison.
+TEST_F(PostProcessorTest, DistinctCollapsesSignedZero) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE z (d DOUBLE)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO z VALUES (-0.0), (0.0), (1.5), (-0.0)").ok());
+  auto out = db_.Query("SELECT DISTINCT d FROM z ORDER BY d");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out.value().result.rows.size(), 2u);  // {0.0, 1.5}
+  EXPECT_DOUBLE_EQ(out.value().result.rows[0][0].AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(out.value().result.rows[1][0].AsDouble(), 1.5);
+}
+
+// NULLs form a single DISTINCT group (SQL semantics; the hashed dedup must
+// preserve what the serialized keys did).
+TEST_F(PostProcessorTest, DistinctTreatsNullsAsOneGroup) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE nn (v INT)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO nn VALUES (NULL), (NULL), (7)").ok());
+  auto out = db_.Query("SELECT DISTINCT v FROM nn");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().result.rows.size(), 2u);
+}
+
+// Regression: int64 values beyond 2^53 are not exactly representable as
+// doubles; the double-normalized keys used to merge 2^53 and 2^53+1 into
+// one GROUP BY group (and, before the hashed dedup, one DISTINCT row).
+// Both paths must keep them apart via exact int64 keys/comparison.
+TEST_F(PostProcessorTest, BigInt64KeysStayDistinct) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE big (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO big VALUES (9007199254740992), "
+                          "(9007199254740993), (9007199254740993)")
+                  .ok());
+  auto grouped = db_.Query("SELECT v, COUNT(*) FROM big GROUP BY v");
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  EXPECT_EQ(grouped.value().result.rows.size(), 2u);
+  auto distinct = db_.Query("SELECT DISTINCT v FROM big");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct.value().result.rows.size(), 2u);
+}
+
+// GROUP BY keys go through SerializeValueKey, which now canonicalizes
+// signed zero too: one group, not two.
+TEST_F(PostProcessorTest, GroupByCollapsesSignedZero) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE gz (d DOUBLE)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO gz VALUES (-0.0), (0.0), (0.0)").ok());
+  auto out = db_.Query("SELECT d, COUNT(*) FROM gz GROUP BY d");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().result.rows.size(), 1u);
+  EXPECT_EQ(out.value().result.rows[0][1].AsInt(), 3);
+}
+
 TEST_F(PostProcessorTest, ColumnLabels) {
   auto out = db_.Query("SELECT g AS grp, SUM(x) total FROM s GROUP BY g");
   ASSERT_TRUE(out.ok());

@@ -92,8 +92,7 @@ TEST_F(PreparedQueryTest, IndexExcludesNulls) {
     double d = key;
     uint64_t bits;
     memcpy(&bits, &d, sizeof(d));
-    const auto* postings = idx->Find(bits);
-    if (postings != nullptr) total += postings->size();
+    total += idx->Find(bits).size();
   }
   EXPECT_EQ(total, 5u);  // 6 rows minus 1 NULL
 }
@@ -105,10 +104,10 @@ TEST_F(PreparedQueryTest, IndexPostingsAscending) {
   double d = 1.0;
   uint64_t bits;
   memcpy(&bits, &d, sizeof(d));
-  const auto* postings = idx->Find(bits);
-  ASSERT_NE(postings, nullptr);
-  for (size_t i = 1; i < postings->size(); ++i) {
-    EXPECT_LT((*postings)[i - 1], (*postings)[i]);
+  HashIndex::Postings postings = idx->Find(bits);
+  ASSERT_FALSE(postings.empty());
+  for (size_t i = 1; i < postings.size(); ++i) {
+    EXPECT_LT(postings[i - 1], postings[i]);
   }
 }
 

@@ -56,7 +56,7 @@ TEST_F(SkinnerCTest, CompletesSmallJoin) {
   Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k");
   SkinnerCOptions opts;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 27u);
   EXPECT_FALSE(engine.stats().timed_out);
@@ -68,7 +68,7 @@ TEST_F(SkinnerCTest, TinyBudgetManySlicesStillCorrect) {
   SkinnerCOptions opts;
   opts.slice_budget = 3;  // extreme: forces constant order switching
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 54u);  // k in 0..2: 3*3*2 = 18 each
   EXPECT_GT(engine.stats().slices, 5u);
@@ -79,10 +79,11 @@ TEST_F(SkinnerCTest, NoDuplicateTuples) {
   SkinnerCOptions opts;
   opts.slice_budget = 2;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  std::vector<PosTuple> tuples = out.ToVector();
+  std::sort(tuples.begin(), tuples.end());
+  EXPECT_EQ(std::adjacent_find(tuples.begin(), tuples.end()), tuples.end());
   EXPECT_EQ(out.size(), 27u);
 }
 
@@ -90,9 +91,9 @@ TEST_F(SkinnerCTest, TriviallyEmptyQuery) {
   Prepare("SELECT COUNT(*) FROM a, b WHERE a.k = b.k AND a.k > 100");
   SkinnerCOptions opts;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
-  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.size(), 0u);
   EXPECT_EQ(engine.stats().slices, 0u);
 }
 
@@ -102,7 +103,7 @@ TEST_F(SkinnerCTest, DeadlineMarksTimeout) {
   opts.deadline = clock_.now() + 10;
   opts.slice_budget = 4;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_TRUE(engine.stats().timed_out);
 }
@@ -113,7 +114,7 @@ TEST_F(SkinnerCTest, StatsArePopulated) {
   opts.slice_budget = 5;
   opts.collect_trace = true;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   const SkinnerCStats& s = engine.stats();
   EXPECT_GT(s.uct_nodes, 0u);
@@ -131,7 +132,7 @@ TEST_F(SkinnerCTest, RandomPolicyCorrect) {
   opts.policy = SelectionPolicy::kRandom;
   opts.slice_budget = 6;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 54u);
 }
@@ -142,7 +143,7 @@ TEST_F(SkinnerCTest, LeftmostFractionRewardCorrect) {
   opts.reward = RewardKind::kLeftmostFraction;
   opts.slice_budget = 9;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 54u);
 }
@@ -151,7 +152,7 @@ TEST_F(SkinnerCTest, SingleTableQuery) {
   Prepare("SELECT COUNT(*) FROM a WHERE a.k < 2");
   SkinnerCOptions opts;
   SkinnerCEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 6u);
 }
@@ -166,7 +167,7 @@ TEST_F(SkinnerCTest, SmallerBudgetMoreSlices) {
     SkinnerCOptions opts;
     opts.slice_budget = 5;
     SkinnerCEngine engine(pq_.get(), opts);
-    std::vector<PosTuple> out;
+    ResultSet out(pq_->num_tables());
     ASSERT_TRUE(engine.Run(&out).ok());
     slices_small = engine.stats().slices;
   }
@@ -175,11 +176,59 @@ TEST_F(SkinnerCTest, SmallerBudgetMoreSlices) {
     SkinnerCOptions opts;
     opts.slice_budget = 100000;
     SkinnerCEngine engine(pq_.get(), opts);
-    std::vector<PosTuple> out;
+    ResultSet out(pq_->num_tables());
     ASSERT_TRUE(engine.Run(&out).ok());
     slices_large = engine.stats().slices;
   }
   EXPECT_GT(slices_small, slices_large);
+}
+
+// auxiliary_bytes is exact for the flat ResultSet and all three tracked
+// structures are append-only, so the per-slice samples must be monotone
+// non-decreasing.
+TEST_F(SkinnerCTest, AuxiliaryBytesMonotoneAcrossSlices) {
+  Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+  SkinnerCOptions opts;
+  opts.slice_budget = 4;  // many slices
+  opts.collect_trace = true;
+  SkinnerCEngine engine(pq_.get(), opts);
+  ResultSet out(pq_->num_tables());
+  ASSERT_TRUE(engine.Run(&out).ok());
+  const SkinnerCStats& s = engine.stats();
+  ASSERT_GT(s.aux_bytes_trace.size(), 2u);
+  EXPECT_EQ(s.aux_bytes_trace.size(), s.slices);
+  for (size_t i = 1; i < s.aux_bytes_trace.size(); ++i) {
+    EXPECT_GE(s.aux_bytes_trace[i], s.aux_bytes_trace[i - 1])
+        << "auxiliary bytes shrank at slice " << i;
+  }
+  EXPECT_EQ(s.aux_bytes_trace.back(), s.auxiliary_bytes);
+  // The exact result-set footprint is accounted: it alone exceeds the raw
+  // tuple payload.
+  EXPECT_GE(s.auxiliary_bytes,
+            out.size() * sizeof(int32_t) * 3);
+}
+
+// Parallel Skinner-C (paper 4.4) must return bit-identical tuples in the
+// canonical export order for any worker count.
+TEST_F(SkinnerCTest, ParallelMatchesSequentialBitIdentical) {
+  for (int64_t budget : {3, 500}) {
+    std::vector<std::vector<PosTuple>> results;
+    std::vector<uint64_t> tuple_counts;
+    for (int threads : {1, 4}) {
+      Prepare("SELECT COUNT(*) FROM a, b, c WHERE a.k = b.k AND b.k = c.k");
+      SkinnerCOptions opts;
+      opts.slice_budget = budget;
+      opts.num_threads = threads;
+      SkinnerCEngine engine(pq_.get(), opts);
+      ResultSet out(pq_->num_tables());
+      ASSERT_TRUE(engine.Run(&out).ok());
+      results.push_back(out.ToVector());
+      tuple_counts.push_back(engine.stats().result_tuples);
+    }
+    EXPECT_EQ(results[0], results[1]) << "budget " << budget;
+    EXPECT_EQ(tuple_counts[0], tuple_counts[1]);
+    EXPECT_EQ(results[0].size(), 54u);
+  }
 }
 
 // Regression: an equi-join between -0.0 and +0.0 keys must produce the
@@ -213,7 +262,7 @@ TEST(SkinnerCSignedZeroTest, JoinsAcrossSignedZero) {
 
   SkinnerCOptions opts;
   SkinnerCEngine engine(pq.value().get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq.value()->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 2u);  // l's -0.0 joins both +0.0 rows of r
 }

@@ -49,7 +49,7 @@ TEST_F(SkinnerGTest, CompletesAndCountsMatch) {
   SkinnerGOptions opts;
   opts.batches_per_table = 5;
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_TRUE(engine.finished());
   EXPECT_EQ(out.size(), 120u);  // 5 keys x 6 x 4
@@ -61,10 +61,11 @@ TEST_F(SkinnerGTest, NoDuplicatesAcrossBatches) {
   opts.batches_per_table = 7;
   opts.timeout_unit = 100;  // many small iterations, many failures
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  std::vector<PosTuple> tuples = out.ToVector();
+  std::sort(tuples.begin(), tuples.end());
+  EXPECT_EQ(std::adjacent_find(tuples.begin(), tuples.end()), tuples.end());
   EXPECT_EQ(out.size(), 120u);
 }
 
@@ -75,7 +76,7 @@ TEST_F(SkinnerGTest, FailedIterationsEarnZeroReward) {
   opts.timeout_unit = 2;  // far too small: most iterations time out
   opts.deadline = clock_.now() + 2'000'000;
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   const SkinnerGStats& s = engine.stats();
   EXPECT_GT(s.iterations, s.successes);
@@ -92,7 +93,7 @@ TEST_F(SkinnerGTest, MinPositionsTrackBatchRemoval) {
   SkinnerGEngine engine(pq_.get(), opts);
   std::vector<int64_t> before = engine.MinPositions();
   EXPECT_EQ(before, (std::vector<int64_t>{0, 0}));
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   std::vector<int64_t> after = engine.MinPositions();
   // Some table was fully consumed in batches.
@@ -107,7 +108,7 @@ TEST_F(SkinnerGTest, RunUntilRespectsBudget) {
   opts.batches_per_table = 10;
   opts.timeout_unit = 10;
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   uint64_t until = clock_.now() + 50;
   engine.RunUntil(until, &out);
   // May overshoot by at most one iteration's timeout.
@@ -120,7 +121,7 @@ TEST_F(SkinnerGTest, BlockEngineVariantAgrees) {
   opts.engine = GenericEngineKind::kBlock;
   opts.batches_per_table = 4;
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 120u);
 }
@@ -131,7 +132,7 @@ TEST_F(SkinnerGTest, DeadlineStopsExecution) {
   opts.deadline = clock_.now() + 20;
   opts.timeout_unit = 5;
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_FALSE(engine.finished());
   EXPECT_TRUE(engine.stats().timed_out);
@@ -148,7 +149,7 @@ TEST_F(SkinnerGTest, TinyTablesFewerBatches) {
   SkinnerGOptions opts;
   opts.batches_per_table = 10;  // > rows of tiny
   SkinnerGEngine engine(pq_.get(), opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 6u + 6u);  // k=0: 6 rows of a; k=1: 6 rows
 }

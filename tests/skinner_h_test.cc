@@ -51,7 +51,7 @@ TEST_F(SkinnerHTest, GoodOptimizerPlanFinishesQuickly) {
   SkinnerHOptions opts;
   opts.unit = 1'000'000;  // generous first slice: optimizer plan finishes
   SkinnerHEngine engine(pq_.get(), {0, 1}, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 96u);
   EXPECT_TRUE(engine.stats().finished_by_optimizer);
@@ -65,7 +65,7 @@ TEST_F(SkinnerHTest, TinySlicesInterleaveAndStillComplete) {
   opts.g.batches_per_table = 4;
   opts.g.timeout_unit = 10;
   SkinnerHEngine engine(pq_.get(), {0, 1}, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 96u);
   EXPECT_GT(engine.stats().optimizer_rounds, 1u);
@@ -81,7 +81,7 @@ TEST_F(SkinnerHTest, LearningSideCanFinishFirst) {
   // bad schedule: order [1, 0] is fine here, so instead rely on tiny
   // optimizer slices: learning finishes first.
   SkinnerHEngine engine(pq_.get(), {1, 0}, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_EQ(out.size(), 96u);
 }
@@ -93,10 +93,11 @@ TEST_F(SkinnerHTest, CombinedResultsAreDisjoint) {
   opts.g.batches_per_table = 3;
   opts.g.timeout_unit = 50;
   SkinnerHEngine engine(pq_.get(), {0, 1}, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
-  std::sort(out.begin(), out.end());
-  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end());
+  std::vector<PosTuple> tuples = out.ToVector();
+  std::sort(tuples.begin(), tuples.end());
+  EXPECT_EQ(std::adjacent_find(tuples.begin(), tuples.end()), tuples.end());
   EXPECT_EQ(out.size(), 96u);
 }
 
@@ -107,7 +108,7 @@ TEST_F(SkinnerHTest, DeadlineStops) {
   opts.deadline = clock_.now() + 30;
   opts.g.deadline = opts.deadline;
   SkinnerHEngine engine(pq_.get(), {0, 1}, opts);
-  std::vector<PosTuple> out;
+  ResultSet out(pq_->num_tables());
   ASSERT_TRUE(engine.Run(&out).ok());
   EXPECT_TRUE(engine.stats().timed_out);
 }
@@ -135,7 +136,7 @@ TEST_F(SkinnerHTest, RegretVsTraditionalBounded) {
     SkinnerHOptions opts;
     opts.unit = std::max<uint64_t>(8, direct_cost / 8);
     SkinnerHEngine engine(pq2.value().get(), {0, 1}, opts);
-    std::vector<PosTuple> out;
+    ResultSet out(pq2.value()->num_tables());
     ASSERT_TRUE(engine.Run(&out).ok());
     EXPECT_EQ(out.size(), 96u);
     // Total <= 5x the direct execution (paper: regret <= 4/5 of total).
