@@ -7,6 +7,7 @@
 // followed by the progress tracker and the UCT tree; total memory stays
 // moderate.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "benchgen/job.h"
@@ -26,6 +27,8 @@ int main() {
 
   TablePrinter table({"Query", "#Tables", "UCT Nodes", "Progress Nodes",
                       "Result Tuples", "Aux Bytes"});
+  uint64_t total_cost = 0;
+  size_t max_aux_bytes = 0;
   for (size_t i = 0; i < w.queries.size(); ++i) {
     ExecOptions opts;
     opts.engine = EngineKind::kSkinnerC;
@@ -33,6 +36,8 @@ int main() {
     auto out = db.Query(w.queries[i], opts);
     if (!out.ok()) continue;
     const ExecutionStats& s = out.value().stats;
+    total_cost += s.total_cost;
+    max_aux_bytes = std::max(max_aux_bytes, s.auxiliary_bytes);
     auto bound = db.Bind(w.queries[i]);
     int tables = bound.ok() ? bound.value()->num_tables() : 0;
     table.AddRow({w.names[i], std::to_string(tables),
@@ -45,5 +50,9 @@ int main() {
       "\nShape check vs paper: result tuple indices dominate memory,\n"
       "followed by the progress tracker, then the UCT tree; all grow with\n"
       "the number of joined tables.\n");
+  std::printf("RESULT bench_memory skinner_c_total_cost=%llu "
+              "max_aux_bytes=%llu\n",
+              static_cast<unsigned long long>(total_cost),
+              static_cast<unsigned long long>(max_aux_bytes));
   return 0;
 }

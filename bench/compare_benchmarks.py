@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Diffs a fresh BENCH_*.json against a committed baseline and gates CI.
+
+Usage:
+  bench/compare_benchmarks.py BASELINE.json CURRENT.json \
+      [--max-regress 0.25] [--min-abs 100]
+
+Both files are produced by bench/run_benchmarks.sh (schema_version >= 2:
+each scenario carries a "metrics" object extracted from the bench's
+`RESULT key=value` lines). The script prints a per-bench/per-metric delta
+table and exits nonzero when any *gated* metric regresses by more than
+--max-regress (default 25%):
+
+  - metrics whose name contains "cost" or "overhead" gate on increases
+    (virtual-cost units: deterministic per seed, so CI noise is bounded);
+  - metrics whose name contains "speedup", "improvement", or "ratio" gate
+    on decreases;
+  - everything else (wall seconds, byte counts, ...) is informational —
+    wall clock on shared CI runners is too noisy to gate.
+
+A scenario present in the baseline but missing, failed, or metric-less in
+the current run also fails the gate: a crashed bench must not pass by
+vanishing. Scenarios only present in the current run are reported as new
+(baseline refresh needed to start gating them).
+
+Baselines live in bench/baselines/. To refresh after an intended perf
+change:  bench/run_benchmarks.sh -t baseline <benches...> &&
+         mv BENCH_baseline.json bench/baselines/
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = ("speedup", "improvement", "ratio")
+LOWER_IS_BETTER = ("cost",)
+
+
+def metric_direction(name):
+    """Returns 'down' (increase = regression), 'up', or None (info-only)."""
+    lname = name.lower()
+    # "overhead" outranks everything so overhead_ratio gates on increases;
+    # then the higher-is-better words outrank "cost" so compound names
+    # like cost_speedup_4_over_1 gate on decreases (a speedup OF a cost is
+    # still a speedup).
+    if "overhead" in lname:
+        return "down"
+    if any(k in lname for k in HIGHER_IS_BETTER):
+        return "up"
+    if any(k in lname for k in LOWER_IS_BETTER):
+        return "down"
+    return None
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+    scenarios = {}
+    for s in doc.get("scenarios", []):
+        scenarios[s.get("name", "?")] = s
+    return doc, scenarios
+
+
+def fmt(v):
+    if isinstance(v, float) and v != int(v):
+        return f"{v:.3f}"
+    return str(int(v)) if isinstance(v, (int, float)) else str(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative regression on gated metrics "
+        "(0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--min-abs",
+        type=float,
+        default=0.0,
+        help="ignore regressions whose absolute delta is below this. "
+        "Off by default: gated metrics are either O(1) ratios (where any "
+        "25%% move is real) or deterministic virtual-cost counters, so an "
+        "absolute floor would only mask regressions. Opt in for noisy "
+        "absolute metrics.",
+    )
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    rows = []
+    failures = []
+
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None:
+            rows.append((name, "(scenario)", "-", "-", "-", "NEW"))
+            continue
+        if c is None:
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"current run")
+            rows.append((name, "(scenario)", "-", "-", "-", "MISSING"))
+            continue
+        if c.get("exit_code", 1) != 0:
+            failures.append(f"{name}: current run exited "
+                            f"{c.get('exit_code')}")
+            rows.append((name, "(scenario)", "-", "-", "-", "FAILED"))
+
+        bm = b.get("metrics", {}) or {}
+        cm = c.get("metrics", {}) or {}
+        gated_in_baseline = [k for k in bm if metric_direction(k)]
+        for key in sorted(set(bm) | set(cm)):
+            bv, cv = bm.get(key), cm.get(key)
+            if bv is None:
+                rows.append((name, key, "-", fmt(cv), "-", "new"))
+                continue
+            if cv is None:
+                status = "MISSING"
+                if metric_direction(key):
+                    failures.append(f"{name}.{key}: gated metric missing "
+                                    f"from current run")
+                rows.append((name, key, fmt(bv), "-", "-", status))
+                continue
+            delta = (cv - bv) / abs(bv) if bv else (0.0 if cv == bv else
+                                                    float("inf"))
+            direction = metric_direction(key)
+            status = "info"
+            if direction:
+                regress = delta if direction == "down" else -delta
+                status = "ok"
+                if (regress > args.max_regress
+                        and abs(cv - bv) >= args.min_abs):
+                    status = "REGRESS"
+                    failures.append(
+                        f"{name}.{key}: {fmt(bv)} -> {fmt(cv)} "
+                        f"({delta:+.1%}, gate {'<=' if direction == 'down' else '>='} "
+                        f"{args.max_regress:.0%} {'increase' if direction == 'down' else 'decrease'})")
+            rows.append((name, key, fmt(bv), fmt(cv), f"{delta:+.1%}",
+                         status))
+        if not gated_in_baseline:
+            # A baseline scenario with no gated metrics can't catch
+            # anything; surface it so the baseline gets fixed.
+            rows.append((name, "(no gated metrics)", "-", "-", "-", "WARN"))
+
+    headers = ("bench", "metric", "baseline", "current", "delta", "status")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else
+              len(headers[i]) for i in range(6)]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(r[i]).ljust(widths[i]) for i in range(6)))
+
+    print()
+    print(f"baseline: {args.baseline} (tag {base_doc.get('tag', '?')})  "
+          f"current: {args.current} (tag {cur_doc.get('tag', '?')})")
+    if failures:
+        print(f"\nFAIL: {len(failures)} gate violation(s) "
+              f"(max tolerated regression {args.max_regress:.0%}):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nOK: no gated metric regressed by more than "
+          f"{args.max_regress:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the bench/ binaries and emits a machine-readable BENCH_<tag>.json
-# with per-scenario wall-clock timings, for tracking the perf trajectory
-# across PRs.
+# with per-scenario wall-clock timings and extracted RESULT metrics, for
+# tracking the perf trajectory across PRs and gating regressions in CI
+# (bench/compare_benchmarks.py).
 #
 # Usage:
 #   bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUT_JSON] [-t TAG] [bench ...]
@@ -14,8 +15,14 @@
 #   bench ...     subset of bench names to run (default: all that exist);
 #                 e.g. `bench/run_benchmarks.sh bench_trivial bench_tpch`
 #
-# Each scenario records: name, exit code, wall seconds, and the paths of
-# the captured stdout log (kept next to the JSON as BENCH_<tag>.<name>.log).
+# Each scenario records: name, exit code, wall seconds, the path of the
+# captured stdout log (kept next to the JSON as BENCH_<tag>.<name>.log),
+# and a "metrics" object parsed from the bench's `RESULT <name> key=value`
+# lines (numeric values only; the last value wins per key).
+#
+# Exit status: nonzero if any bench binary exits nonzero, any metrics blob
+# fails JSON validation, or the final JSON does not parse — a crashed bench
+# can no longer masquerade as a good BENCH_*.json upload.
 set -u
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,7 +36,7 @@ while getopts "b:o:t:h" opt; do
     o) OUT_JSON="$OPTARG" ;;
     t) TAG="$OPTARG" ;;
     h)
-      sed -n '2,18p' "$0"
+      sed -n '2,25p' "$0"
       exit 0
       ;;
     *) exit 2 ;;
@@ -43,6 +50,44 @@ fi
 if [ -z "$OUT_JSON" ]; then
   OUT_JSON="${REPO_ROOT}/BENCH_${TAG}.json"
 fi
+
+PYTHON_BIN="$(command -v python3 || true)"
+if [ -z "$PYTHON_BIN" ]; then
+  echo "warning: python3 not found; JSON validation skipped" >&2
+fi
+
+# Validates a JSON document passed on stdin; returns nonzero when python3
+# is present and the document does not parse.
+validate_json() {
+  if [ -z "$PYTHON_BIN" ]; then
+    return 0
+  fi
+  "$PYTHON_BIN" -c 'import json, sys; json.load(sys.stdin)' 2>/dev/null
+}
+
+# Parses `RESULT <tag> key=value ...` lines from a bench log into the body
+# of a JSON object: `"key": value, ...`. Only numeric values are kept (a
+# truncated log line must not corrupt the JSON); the last value wins.
+extract_metrics() {
+  awk '
+    /^RESULT / {
+      for (i = 3; i <= NF; i++) {
+        n = split($i, kv, "=")
+        if (n != 2) continue
+        if (kv[2] !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/) continue
+        if (!(kv[1] in vals)) order[++cnt] = kv[1]
+        vals[kv[1]] = kv[2]
+      }
+    }
+    END {
+      out = ""
+      for (j = 1; j <= cnt; j++) {
+        if (j > 1) out = out ", "
+        out = out "\"" order[j] "\": " vals[order[j]]
+      }
+      print out
+    }' "$1"
+}
 
 ALL_BENCHES=(
   bench_trivial
@@ -79,6 +124,7 @@ now_ns() {
 
 json_entries=""
 ran_any=0
+overall_failed=0
 for name in "${BENCHES[@]}"; do
   bin="${BUILD_DIR}/${name}"
   if [ ! -x "$bin" ]; then
@@ -93,9 +139,22 @@ for name in "${BENCHES[@]}"; do
   end=$(now_ns)
   secs=$(awk "BEGIN{printf \"%.3f\", (${end} - ${start}) / 1e9}")
   echo "    exit=${code} wall=${secs}s log=${log}"
+  if [ "$code" -ne 0 ]; then
+    echo "    FAILED: ${name} exited ${code}" >&2
+    overall_failed=1
+  fi
+  metrics="$(extract_metrics "$log")"
+  entry="
+    {\"name\": \"${name}\", \"exit_code\": ${code}, \"wall_seconds\": ${secs}, \"log\": \"$(basename "$log")\", \"metrics\": {${metrics}}}"
+  if ! printf '%s' "$entry" | validate_json; then
+    echo "    FAILED: ${name} produced an invalid metrics blob; dropping" >&2
+    echo "            metrics: {${metrics}}" >&2
+    overall_failed=1
+    entry="
+    {\"name\": \"${name}\", \"exit_code\": ${code}, \"wall_seconds\": ${secs}, \"log\": \"$(basename "$log")\", \"metrics\": {}}"
+  fi
   [ -n "$json_entries" ] && json_entries="${json_entries},"
-  json_entries="${json_entries}
-    {\"name\": \"${name}\", \"exit_code\": ${code}, \"wall_seconds\": ${secs}, \"log\": \"$(basename "$log")\"}"
+  json_entries="${json_entries}${entry}"
   ran_any=1
 done
 
@@ -104,9 +163,10 @@ if [ "$ran_any" -eq 0 ]; then
   exit 1
 fi
 
-cat >"$OUT_JSON" <<EOF
+TMP_JSON="${OUT_JSON}.tmp"
+cat >"$TMP_JSON" <<EOF
 {
-  "schema_version": 1,
+  "schema_version": 2,
   "tag": "${TAG}",
   "timestamp_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host": "$(uname -srm)",
@@ -115,4 +175,14 @@ cat >"$OUT_JSON" <<EOF
 }
 EOF
 
+if ! validate_json <"$TMP_JSON"; then
+  echo "error: assembled ${TMP_JSON} is not valid JSON; refusing to publish" >&2
+  exit 1
+fi
+mv "$TMP_JSON" "$OUT_JSON"
+
 echo "wrote ${OUT_JSON}"
+if [ "$overall_failed" -ne 0 ]; then
+  echo "error: one or more benches failed; see logs above" >&2
+  exit 1
+fi

@@ -115,6 +115,7 @@ Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
         so.deadline = opts.deadline;
         so.collect_trace = opts.collect_trace;
         so.num_threads = opts.skinner_threads;
+        so.parallel_mode = opts.skinner_parallel_mode;
         SkinnerCEngine engine(pq.get(), so);
         SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
         const SkinnerCStats& s = engine.stats();

@@ -40,10 +40,14 @@ struct ExecOptions {
   double uct_weight_c = 1e-6;        // w for Skinner-C
   RewardKind reward = RewardKind::kWeightedProgress;
   bool collect_trace = false;
-  /// Search-parallel Skinner-C workers (paper Section 4.4): stripes of the
-  /// leftmost table's range executed under one shared UCT tree and one
-  /// shared (striped-lock) result set. 1 = sequential.
+  /// Search-parallel Skinner-C workers (paper Section 4.4): disjoint
+  /// pieces of the leftmost table's range executed under one shared UCT
+  /// tree. 1 = sequential.
   int skinner_threads = 1;
+  /// Work distribution for skinner_threads > 1: dynamic chunk queue with
+  /// work stealing + shared offset publication (default), or the static
+  /// per-table stripes kept as the regression/benchmark baseline.
+  ParallelMode skinner_parallel_mode = ParallelMode::kChunkStealing;
 
   // Skinner-G / Skinner-H.
   int batches_per_table = 10;

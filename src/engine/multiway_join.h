@@ -2,6 +2,7 @@
 #define SKINNER_ENGINE_MULTIWAY_JOIN_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -101,6 +102,45 @@ class JoinCursor {
   VirtualClock* clock_override_ = nullptr;
 };
 
+/// Read-only view of one table's published completed offsets. Parallel
+/// Skinner-C splits every table's position range into uniform chunks and
+/// publishes, per chunk, the first position not yet fully joined when the
+/// table ran as a join order's leftmost (skinner/progress.h owns the
+/// writable side). The join loop consults the view on every descend so any
+/// worker can skip position ranges that any worker — itself included — has
+/// already exhausted, instead of rescanning from offset 0 (the T>1
+/// regression of the static-stripe design).
+///
+/// All loads are relaxed: published offsets only grow, and the tuples they
+/// summarize are read only after the worker threads join, so a stale read
+/// is merely conservative (some duplicate work, never a missed result).
+struct PublishedOffsets {
+  /// Per-chunk "first not-fully-joined position" (absolute, monotone).
+  const std::atomic<int64_t>* chunk_offset = nullptr;
+  int64_t chunk_size = 1;
+  int64_t cardinality = 0;
+  size_t num_chunks = 0;
+
+  /// Smallest position >= pos not known to be fully joined. Walks forward
+  /// across contiguously completed chunks, so scattered completed regions
+  /// (work stealing finishes chunks out of order) are skipped too.
+  int64_t SkipCompleted(int64_t pos) const {
+    if (chunk_offset == nullptr) return pos;
+    while (pos >= 0 && pos < cardinality) {
+      size_t k = static_cast<size_t>(pos / chunk_size);
+      if (k >= num_chunks) break;
+      int64_t off = chunk_offset[k].load(std::memory_order_relaxed);
+      if (pos >= off) return pos;  // not known complete
+      pos = off;  // [chunk lo, off) is fully joined
+      int64_t hi = std::min((static_cast<int64_t>(k) + 1) * chunk_size,
+                            cardinality);
+      if (pos < hi) return pos;
+      // The chunk is fully complete: fall through into the next chunk.
+    }
+    return pos;
+  }
+};
+
 /// Why MultiwayJoinLoop returned.
 enum class JoinLoopExit {
   kCompleted,  // leftmost range exhausted: every result tuple emitted
@@ -120,6 +160,11 @@ struct MultiwayJoinSpec {
   /// Skinner-C passes its per-table offsets (tuples below are fully
   /// joined); forced execution passes the Skinner-G exclusion bounds.
   const int64_t* lower = nullptr;
+  /// Table-indexed published completed offsets (or nullptr): candidates at
+  /// depth > 0 are bumped past any range some parallel worker has fully
+  /// joined as a leftmost table. Parallel Skinner-C points this at its
+  /// shared chunk-progress board; sequential engines leave it null.
+  const PublishedOffsets* published = nullptr;
   /// Charged steps before suspension (Skinner-C time slice budget b).
   int64_t budget = INT64_MAX;
   /// Abort (kDeadline) once `clock` reaches this; checked per charged step.
@@ -166,6 +211,22 @@ JoinLoopExit MultiwayJoinLoop(JoinCursor* cursor, const std::vector<int>& order,
   for (int d = 0; d < i; ++d) cursor->Bind(d, pos[static_cast<size_t>(d)]);
 
   PosTuple tuple(static_cast<size_t>(m), -1);
+  // Bumps a depth-d candidate past published fully-joined ranges: every
+  // result tuple using such a position was already emitted when its table
+  // ran as a leftmost, so re-enumerating it can only produce duplicates.
+  // No-op at depth 0, where the caller's chunk/stripe claim bounds the
+  // range, and when no publication board is attached.
+  auto skip_published = [&](int d, int64_t cand) -> int64_t {
+    if (spec.published == nullptr || d == 0) return cand;
+    const PublishedOffsets& pub =
+        spec.published[static_cast<size_t>(order[static_cast<size_t>(d)])];
+    while (cand >= 0) {
+      int64_t skip = pub.SkipCompleted(cand);
+      if (skip == cand) break;
+      cand = cursor->FirstCandidate(d, skip);
+    }
+    return cand;
+  };
   int64_t steps = 0;
   JoinLoopExit exit = JoinLoopExit::kCompleted;
   bool done = false;
@@ -196,7 +257,8 @@ JoinLoopExit MultiwayJoinLoop(JoinCursor* cursor, const std::vector<int>& order,
       }
       --i;
       int64_t old = pos[static_cast<size_t>(i)];
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, old);
+      pos[static_cast<size_t>(i)] =
+          skip_published(i, cursor->NextCandidate(i, old));
       if (i == 0) left_advanced(old + 1);
       continue;
     }
@@ -211,7 +273,8 @@ JoinLoopExit MultiwayJoinLoop(JoinCursor* cursor, const std::vector<int>& order,
     }
     cursor->Bind(i, p);
     if (!cursor->Check(i)) {
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      pos[static_cast<size_t>(i)] =
+          skip_published(i, cursor->NextCandidate(i, p));
       continue;
     }
     ++stats->intermediate_tuples;
@@ -221,15 +284,17 @@ JoinLoopExit MultiwayJoinLoop(JoinCursor* cursor, const std::vector<int>& order,
             static_cast<int32_t>(pos[static_cast<size_t>(d)]);
       }
       emit(tuple);
-      pos[static_cast<size_t>(i)] = cursor->NextCandidate(i, p);
+      pos[static_cast<size_t>(i)] =
+          skip_published(i, cursor->NextCandidate(i, p));
       continue;
     }
     ++i;
-    pos[static_cast<size_t>(i)] = cursor->FirstCandidate(
-        i, spec.lower == nullptr
-               ? 0
-               : spec.lower[static_cast<size_t>(
-                     order[static_cast<size_t>(i)])]);
+    int64_t low = spec.lower == nullptr
+                      ? 0
+                      : spec.lower[static_cast<size_t>(
+                            order[static_cast<size_t>(i)])];
+    pos[static_cast<size_t>(i)] =
+        skip_published(i, cursor->FirstCandidate(i, low));
   }
   if (suspended) {
     // Normalize the suspension point: resolve any pending backtracks so the

@@ -63,7 +63,8 @@ uint64_t ResultSet::HashTuple(const int32_t* tuple) const {
 }
 
 void ResultSet::GrowShardTable(Shard* shard, int width) {
-  size_t cap = shard->table.empty() ? kInitialTableCap : shard->table.size() * 2;
+  size_t cap =
+      shard->table.empty() ? kInitialTableCap : shard->table.size() * 2;
   std::vector<uint32_t> fresh(cap, 0);
   const size_t mask = cap - 1;
   for (uint32_t entry : shard->table) {
@@ -119,8 +120,20 @@ std::vector<PosTuple> ResultSet::ToVector() const {
 }
 
 void ResultSet::ExportSorted(std::vector<PosTuple>* out) const {
-  std::vector<PosTuple> all = ToVector();
+  MergeSortedUnique({this}, out);
+}
+
+void ResultSet::MergeSortedUnique(const std::vector<const ResultSet*>& parts,
+                                  std::vector<PosTuple>* out) {
+  size_t total = 0;
+  for (const ResultSet* p : parts) total += p->size();
+  std::vector<PosTuple> all;
+  all.reserve(total);
+  for (const ResultSet* p : parts) {
+    p->ForEach([&](const int32_t* t) { all.emplace_back(t, t + p->width()); });
+  }
   std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
   out->reserve(out->size() + all.size());
   for (PosTuple& t : all) out->push_back(std::move(t));
 }

@@ -67,7 +67,21 @@ class ResultSet {
 
   /// Appends all tuples to `out` in canonical (lexicographically sorted)
   /// order — deterministic regardless of shard count or thread schedule.
+  /// Single-set shorthand for MergeSortedUnique, so the canonical-export
+  /// semantics live in exactly one place (duplicates, impossible on the
+  /// Insert-dedup sets this is called on, would be dropped).
   void ExportSorted(std::vector<PosTuple>* out) const;
+
+  /// Merges several result sets into `out` in canonical sorted order,
+  /// dropping duplicates across (and within) the parts. This is the export
+  /// path for chunk-stealing parallel Skinner-C: each worker owns a private
+  /// unsynchronized result set (no locks on the emit hot path; per-worker
+  /// Insert() dedups locally), and cross-worker duplicates — one worker
+  /// re-emits a tuple another worker produced, e.g. after stealing a chunk
+  /// resumed from a shared-prefix frontier — are dropped here, so the
+  /// merged export is bit-identical for any thread count or schedule.
+  static void MergeSortedUnique(const std::vector<const ResultSet*>& parts,
+                                std::vector<PosTuple>* out);
 
  private:
   struct Shard {

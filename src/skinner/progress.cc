@@ -69,4 +69,96 @@ bool ProgressTree::Restore(const std::vector<int>& order,
   return true;
 }
 
+SharedProgress::SharedProgress(const std::vector<int64_t>& cardinalities,
+                               int num_tables, int target_chunks,
+                               int64_t min_chunk_rows) {
+  tables_ = std::vector<TableState>(cardinalities.size());
+  views_.resize(cardinalities.size());
+  target_chunks = std::max(target_chunks, 1);
+  min_chunk_rows = std::max<int64_t>(min_chunk_rows, 1);
+  for (size_t t = 0; t < cardinalities.size(); ++t) {
+    TableState& ts = tables_[t];
+    ts.card = cardinalities[t];
+    ts.chunk_size = std::max(
+        min_chunk_rows, (ts.card + target_chunks - 1) / target_chunks);
+    ts.num_chunks = ts.card == 0
+                        ? 0
+                        : static_cast<int>((ts.card + ts.chunk_size - 1) /
+                                           ts.chunk_size);
+    ts.offset = std::make_unique<std::atomic<int64_t>[]>(
+        static_cast<size_t>(ts.num_chunks));
+    ts.progress.reserve(static_cast<size_t>(ts.num_chunks));
+    for (int c = 0; c < ts.num_chunks; ++c) {
+      ts.offset[static_cast<size_t>(c)].store(ts.chunk_size * c,
+                                              std::memory_order_relaxed);
+      ts.progress.push_back(std::make_unique<ProgressTree>(num_tables));
+    }
+    views_[t].chunk_offset = ts.offset.get();
+    views_[t].chunk_size = ts.chunk_size;
+    views_[t].cardinality = ts.card;
+    views_[t].num_chunks = static_cast<size_t>(ts.num_chunks);
+  }
+}
+
+void SharedProgress::Publish(int t, int c, int64_t p) {
+  TableState& ts = tables_[static_cast<size_t>(t)];
+  p = std::min(p, chunk_hi(t, c));
+  std::atomic<int64_t>& off = ts.offset[static_cast<size_t>(c)];
+  int64_t cur = off.load(std::memory_order_relaxed);
+  while (cur < p && !off.compare_exchange_weak(cur, p,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+  }
+  // Advance the contiguous completed prefix past any chunks that are now
+  // complete. Every value involved is monotone, so racing publishers can
+  // only under-advance (conservative), never over-advance.
+  int k = ts.first_incomplete.load(std::memory_order_relaxed);
+  while (k < ts.num_chunks &&
+         ts.offset[static_cast<size_t>(k)].load(std::memory_order_relaxed) >=
+             chunk_hi(t, k)) {
+    ++k;
+  }
+  int cur_k = ts.first_incomplete.load(std::memory_order_relaxed);
+  while (cur_k < k && !ts.first_incomplete.compare_exchange_weak(
+                          cur_k, k, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+  }
+  int64_t pfx =
+      k >= ts.num_chunks
+          ? ts.card
+          : ts.offset[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+  int64_t cur_p = ts.prefix.load(std::memory_order_relaxed);
+  while (cur_p < pfx && !ts.prefix.compare_exchange_weak(
+                            cur_p, pfx, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+  }
+}
+
+bool SharedProgress::TableComplete(int t) const {
+  const TableState& ts = tables_[static_cast<size_t>(t)];
+  if (ts.prefix.load(std::memory_order_relaxed) >= ts.card) return true;
+  for (int c = 0; c < ts.num_chunks; ++c) {
+    if (ts.offset[static_cast<size_t>(c)].load(std::memory_order_relaxed) <
+        chunk_hi(t, c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SharedProgress::AnyTableComplete() const {
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (TableComplete(static_cast<int>(t))) return true;
+  }
+  return false;
+}
+
+size_t SharedProgress::num_progress_nodes() const {
+  size_t n = 0;
+  for (const TableState& ts : tables_) {
+    for (const auto& tree : ts.progress) n += tree->num_nodes();
+  }
+  return n;
+}
+
 }  // namespace skinner

@@ -1,6 +1,7 @@
 #ifndef SKINNER_SKINNER_PROGRESS_H_
 #define SKINNER_SKINNER_PROGRESS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -54,6 +55,107 @@ class ProgressTree {
   int num_tables_;
   Node root_;
   size_t num_nodes_ = 1;
+};
+
+/// Shared work-distribution and offset-publication board for parallel
+/// Skinner-C (replaces PR 2's static stripes). Every table's filtered
+/// position range [0, cardinality) is cut into uniform chunks — the units
+/// of leftmost-table work that workers claim and steal. Per chunk it
+/// tracks:
+///  - an atomic completed offset ("first position not yet fully joined"),
+///    published by whichever worker ran the chunk and exported read-only to
+///    the join loop through engine PublishedOffsets views, so ANY worker's
+///    descend skips ranges ANY worker already exhausted; and
+///  - a ProgressTree of suspended states keyed by join order, so a stolen
+///    chunk resumes exactly where its previous owner left it, for any
+///    order tried so far.
+///
+/// Concurrency contract: offsets are atomics (any thread, any time; they
+/// only grow). A chunk's ProgressTree is owned by the single worker that
+/// holds the chunk's claim; claims are handed out exclusively within a
+/// slice and slices are separated by the engine's barrier, which provides
+/// the happens-before edge between successive owners.
+class SharedProgress {
+ public:
+  /// `chunk_size` per table is chosen so the table yields about
+  /// `target_chunks` chunks, floored at `min_chunk_rows` rows so tiny
+  /// chunks don't drown the win in claim overhead.
+  SharedProgress(const std::vector<int64_t>& cardinalities, int num_tables,
+                 int target_chunks, int64_t min_chunk_rows);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_chunks(int t) const {
+    return tables_[static_cast<size_t>(t)].num_chunks;
+  }
+  int64_t chunk_lo(int t, int c) const {
+    const TableState& ts = tables_[static_cast<size_t>(t)];
+    return ts.chunk_size * c;
+  }
+  int64_t chunk_hi(int t, int c) const {
+    const TableState& ts = tables_[static_cast<size_t>(t)];
+    return std::min(ts.chunk_size * (c + 1), ts.card);
+  }
+  int64_t chunk_offset(int t, int c) const {
+    return tables_[static_cast<size_t>(t)]
+        .offset[static_cast<size_t>(c)]
+        .load(std::memory_order_relaxed);
+  }
+  bool ChunkComplete(int t, int c) const {
+    return chunk_offset(t, c) >= chunk_hi(t, c);
+  }
+  /// The claiming worker's suspended-state store for one chunk.
+  ProgressTree* chunk_progress(int t, int c) {
+    return tables_[static_cast<size_t>(t)]
+        .progress[static_cast<size_t>(c)]
+        .get();
+  }
+
+  /// Publishes that every position of `t` in [chunk_lo(t, c), p) is fully
+  /// joined. Monotone: a lower p than already published is a no-op. Also
+  /// advances the table's completed prefix across newly contiguous chunks.
+  void Publish(int t, int c, int64_t p);
+
+  /// Largest P such that every position < P of `t` is fully joined (the
+  /// contiguous completed prefix; scattered completed chunks beyond it are
+  /// visible through the per-chunk offsets / SkipCompleted instead). The
+  /// cached value can under-advance when racing publications each miss the
+  /// other's chunk — safe for its consumers (descend skipping is merely
+  /// conservative) but never trusted for completion; see TableComplete.
+  int64_t CompletedPrefix(int t) const {
+    return tables_[static_cast<size_t>(t)].prefix.load(
+        std::memory_order_relaxed);
+  }
+  /// True once every chunk of `t` is published complete. Checked against
+  /// the per-chunk offsets (with the cached prefix as a fast path), NOT
+  /// the prefix alone: two workers completing the last two chunks
+  /// concurrently can each compute a stale prefix (no happens-before
+  /// between their relaxed publications), and a completion check that
+  /// trusted it would make the engine spin on empty slices forever. The
+  /// coordinator asks after its slice barrier, which makes all chunk
+  /// offsets visible.
+  bool TableComplete(int t) const;
+  /// True once some table is fully joined as a leftmost => result complete.
+  bool AnyTableComplete() const;
+
+  /// Table-indexed read-only views for MultiwayJoinSpec::published.
+  const PublishedOffsets* views() const { return views_.data(); }
+
+  /// Total suspended-state trie nodes across all chunks (stats).
+  size_t num_progress_nodes() const;
+
+ private:
+  struct TableState {
+    int64_t card = 0;
+    int64_t chunk_size = 1;
+    int num_chunks = 0;
+    std::unique_ptr<std::atomic<int64_t>[]> offset;       // per chunk
+    std::vector<std::unique_ptr<ProgressTree>> progress;  // per chunk
+    std::atomic<int64_t> prefix{0};
+    std::atomic<int> first_incomplete{0};
+  };
+
+  std::vector<TableState> tables_;
+  std::vector<PublishedOffsets> views_;
 };
 
 }  // namespace skinner

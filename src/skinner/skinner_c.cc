@@ -46,6 +46,18 @@ void SkinnerCEngine::InitWorkers() {
     }
     workers_.push_back(std::move(w));
   }
+  if (stealing()) {
+    std::vector<int64_t> cards(static_cast<size_t>(m));
+    for (int t = 0; t < m; ++t) {
+      cards[static_cast<size_t>(t)] = pq_->cardinality(t);
+    }
+    shared_ = std::make_unique<SharedProgress>(
+        cards, m, std::max(1, opts_.chunks_per_thread) * T,
+        opts_.min_chunk_rows);
+    work_next_ = std::make_unique<std::atomic<size_t>[]>(
+        static_cast<size_t>(T));
+    work_end_.assign(static_cast<size_t>(T), 0);
+  }
 }
 
 VirtualClock* SkinnerCEngine::WorkerClock(Worker* w) {
@@ -56,7 +68,8 @@ VirtualClock* SkinnerCEngine::WorkerClock(Worker* w) {
   return workers_.size() > 1 ? &w->clock : pq_->clock();
 }
 
-JoinCursor* SkinnerCEngine::CursorFor(Worker* w, const std::vector<int>& order) {
+JoinCursor* SkinnerCEngine::CursorFor(Worker* w,
+                                      const std::vector<int>& order) {
   auto it = w->cursors.find(order);
   if (it != w->cursors.end()) return it->second.get();
   auto cursor = std::make_unique<JoinCursor>(pq_, BuildJoinSteps(*pq_, order));
@@ -75,7 +88,9 @@ JoinState SkinnerCEngine::RestoreState(Worker* w, const std::vector<int>& order,
   if (!restored) {
     state.depth = 0;
     state.pos[0] = w->offset[static_cast<size_t>(t0)];
-    if (state.pos[0] >= w->stripe_hi[static_cast<size_t>(t0)]) state.pos[0] = -1;
+    if (state.pos[0] >= w->stripe_hi[static_cast<size_t>(t0)]) {
+      state.pos[0] = -1;
+    }
     return state;
   }
   // Fast-forward past offsets: tuples below offset[t] are fully joined
@@ -161,7 +176,131 @@ void SkinnerCEngine::RunWorkerSlice(Worker* w, const std::vector<int>& order) {
   if (!done) w->progress.Backup(order, state);
 }
 
+void SkinnerCEngine::BuildSliceWork(int leftmost_table) {
+  work_table_ = leftmost_table;
+  work_ids_.clear();
+  const int n = shared_->num_chunks(leftmost_table);
+  for (int c = 0; c < n; ++c) {
+    if (!shared_->ChunkComplete(leftmost_table, c)) work_ids_.push_back(c);
+  }
+  // Contiguous per-worker blocks (chunk locality for the common case);
+  // the remainder chunks go to the first blocks.
+  const size_t T = workers_.size();
+  const size_t base = work_ids_.size() / T;
+  const size_t rem = work_ids_.size() % T;
+  size_t pos = 0;
+  for (size_t j = 0; j < T; ++j) {
+    work_next_[j].store(pos, std::memory_order_relaxed);
+    pos += base + (j < rem ? 1 : 0);
+    work_end_[j] = pos;
+  }
+}
+
+int SkinnerCEngine::ClaimChunk(Worker* w) {
+  const int T = static_cast<int>(workers_.size());
+  for (int v = 0; v < T; ++v) {
+    // Own block first; once it drains, steal from the other workers'
+    // blocks in round-robin order. fetch_add hands each list index to
+    // exactly one worker, so a chunk is run by one worker per slice.
+    const size_t victim = static_cast<size_t>((w->id + v) % T);
+    const size_t end = work_end_[victim];
+    for (;;) {
+      size_t i = work_next_[victim].fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      int id = work_ids_[i];
+      // A chunk can complete mid-slice list construction; skip stale ids.
+      if (!shared_->ChunkComplete(work_table_, id)) return id;
+    }
+  }
+  return -1;
+}
+
+JoinState SkinnerCEngine::RestoreChunkState(int chunk_id,
+                                            const std::vector<int>& order,
+                                            JoinCursor* cursor) {
+  const int t0 = order[0];
+  JoinState state;
+  state.pos.assign(order.size(), -1);
+  const int64_t off = shared_->chunk_offset(t0, chunk_id);
+  ProgressTree* progress = shared_->chunk_progress(t0, chunk_id);
+  if (!progress->Restore(order, &state)) {
+    state.depth = 0;
+    state.pos[0] = off;  // the claim guarantees off < chunk_hi
+    return state;
+  }
+  // Fast-forward: at depth 0 past the chunk's published offset; deeper,
+  // past any published fully-joined range of that depth's table (possibly
+  // advanced by other workers since this state was stored). At the first
+  // position that fell behind, re-derive the candidate and truncate.
+  const PublishedOffsets* views = shared_->views();
+  for (int d = 0; d <= state.depth; ++d) {
+    const int t = order[static_cast<size_t>(d)];
+    const int64_t p = state.pos[static_cast<size_t>(d)];
+    const int64_t low =
+        d == 0 ? off : views[static_cast<size_t>(t)].SkipCompleted(p);
+    if (p < low) {
+      state.pos[static_cast<size_t>(d)] = cursor->FirstCandidate(d, low);
+      state.depth = d;
+      break;
+    }
+    cursor->Bind(d, p);
+  }
+  return state;
+}
+
+double SkinnerCEngine::RunChunk(Worker* w, const std::vector<int>& order,
+                                int chunk_id, int64_t* budget_left) {
+  const int t0 = order[0];
+  JoinCursor* cursor = CursorFor(w, order);
+  JoinState state = RestoreChunkState(chunk_id, order, cursor);
+  const double before = RewardPotential(*w, order, state);
+
+  MultiwayJoinSpec spec;
+  spec.left_to = shared_->chunk_hi(t0, chunk_id);
+  spec.lower = zero_lower_.data();
+  spec.published = shared_->views();
+  spec.budget = *budget_left;
+  spec.charge_backtrack = true;
+  spec.clock = WorkerClock(w);
+
+  const uint64_t steps_before = w->loop_stats.steps;
+  JoinLoopExit exit = MultiwayJoinLoop(
+      cursor, order, spec, &state, &w->loop_stats,
+      [&](const PosTuple& tuple) { w->local.Insert(tuple); },
+      [&](int64_t p) { shared_->Publish(t0, chunk_id, p); });
+  *budget_left -= static_cast<int64_t>(w->loop_stats.steps - steps_before);
+
+  double after;
+  if (exit == JoinLoopExit::kCompleted) {
+    JoinState end_state;
+    end_state.depth = 0;
+    end_state.pos.assign(order.size(), -1);
+    end_state.pos[0] = spec.left_to;
+    after = RewardPotential(*w, order, end_state);
+  } else {
+    after = RewardPotential(*w, order, state);
+    shared_->chunk_progress(t0, chunk_id)->Backup(order, state);
+  }
+  return std::max(0.0, after - before);
+}
+
+void SkinnerCEngine::RunWorkerSliceStealing(Worker* w,
+                                            const std::vector<int>& order) {
+  int64_t budget_left = opts_.slice_budget;
+  double reward = 0;
+  while (budget_left > 0) {
+    int chunk_id = ClaimChunk(w);
+    if (chunk_id < 0) break;
+    reward += RunChunk(w, order, chunk_id, &budget_left);
+  }
+  w->slice_reward = std::clamp(reward, 0.0, 1.0);
+  // Completion is tracked through the shared board (CompletedTable), not
+  // per worker: a worker that ran out of chunks is not "done" evidence.
+  w->slice_done = false;
+}
+
 bool SkinnerCEngine::CompletedTable() const {
+  if (shared_ != nullptr) return shared_->AnyTableComplete();
   const int m = pq_->num_tables();
   for (int t = 0; t < m; ++t) {
     bool all = true;
@@ -181,7 +320,10 @@ size_t SkinnerCEngine::AuxiliaryBytes() const {
   const size_t m = static_cast<size_t>(pq_->num_tables());
   size_t progress_nodes = 0;
   for (const auto& w : workers_) progress_nodes += w->progress.num_nodes();
-  return result_.bytes() +
+  if (shared_ != nullptr) progress_nodes += shared_->num_progress_nodes();
+  size_t result_bytes = result_.bytes();
+  for (const auto& w : workers_) result_bytes += w->local.bytes();
+  return result_bytes +
          progress_nodes * (sizeof(void*) * 4 + sizeof(int64_t) * m / 2) +
          uct_.num_nodes() * (sizeof(void*) * 4 + 24 * m / 2);
 }
@@ -208,6 +350,7 @@ void SkinnerCEngine::StopThreads() {
 void SkinnerCEngine::DispatchSlice(const std::vector<int>& order) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stealing()) BuildSliceWork(order[0]);
     slice_order_ = &order;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -229,7 +372,11 @@ void SkinnerCEngine::WorkerMain(Worker* w) {
       seen = generation_;
       order = *slice_order_;
     }
-    RunWorkerSlice(w, order);
+    if (stealing()) {
+      RunWorkerSliceStealing(w, order);
+    } else {
+      RunWorkerSlice(w, order);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
@@ -298,20 +445,30 @@ Status SkinnerCEngine::Run(ResultSet* out) {
   if (T > 1) StopThreads();
 
   stats_.uct_nodes = uct_.num_nodes();
-  stats_.progress_nodes = 0;
+  stats_.progress_nodes = shared_ != nullptr ? shared_->num_progress_nodes()
+                                             : 0;
   stats_.intermediate_tuples = 0;
   for (const auto& w : workers_) {
     stats_.progress_nodes += w->progress.num_nodes();
     stats_.intermediate_tuples += w->loop_stats.intermediate_tuples;
   }
-  stats_.result_tuples = result_.size();
   stats_.final_order = uct_.BestOrder();
-  stats_.auxiliary_bytes = AuxiliaryBytes();
 
   // Canonical export: sorted position tuples, so the emitted rows are
-  // bit-identical regardless of thread count or shard layout.
+  // bit-identical regardless of thread count, parallel mode, shard layout,
+  // or thread schedule. Under stealing each worker owns a private result
+  // set, so cross-worker duplicates are dropped during the merge here.
   std::vector<PosTuple> sorted;
-  result_.ExportSorted(&sorted);
+  if (stealing()) {
+    std::vector<const ResultSet*> parts;
+    parts.reserve(workers_.size());
+    for (const auto& w : workers_) parts.push_back(&w->local);
+    ResultSet::MergeSortedUnique(parts, &sorted);
+  } else {
+    result_.ExportSorted(&sorted);
+  }
+  stats_.result_tuples = sorted.size();
+  stats_.auxiliary_bytes = AuxiliaryBytes();
   for (const PosTuple& t : sorted) out->Append(t);
   return Status::OK();
 }

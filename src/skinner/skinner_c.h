@@ -1,6 +1,7 @@
 #ifndef SKINNER_SKINNER_SKINNER_C_H_
 #define SKINNER_SKINNER_SKINNER_C_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -27,6 +28,21 @@ enum class RewardKind {
   kLeftmostFraction,
 };
 
+/// Work distribution across search workers when num_threads > 1.
+enum class ParallelMode {
+  /// Dynamic chunk queue with work stealing plus shared offset publication
+  /// (default): each table's leftmost range is cut into many small chunks;
+  /// workers claim chunks from their own block and steal from laggards'
+  /// blocks when it drains, and per-chunk completed offsets are published
+  /// through SharedProgress so any worker's descend skips ranges any
+  /// worker already exhausted.
+  kChunkStealing,
+  /// PR-2 static per-table stripes. Kept as the regression baseline the
+  /// benchmarks compare against: skew idles workers late in a query and
+  /// T>1 descends rescan from offset 0.
+  kStaticStripe,
+};
+
 struct SkinnerCOptions {
   /// Time slice budget b: outer-loop iterations of the multiway join per
   /// slice (paper default 500).
@@ -42,14 +58,20 @@ struct SkinnerCOptions {
   uint64_t deadline = UINT64_MAX;
   /// Record per-slice convergence data (paper Figure 7); costs memory.
   bool collect_trace = false;
-  /// Search-parallel Skinner-C (paper Section 4.4): worker threads own
-  /// static stripes of every table's position range; each slice, all
-  /// workers execute the same UCT-selected order on their stripe of the
+  /// Search-parallel Skinner-C (paper Section 4.4): each slice, all worker
+  /// threads execute the same UCT-selected order on disjoint pieces of the
   /// leftmost table, rewards are merged (averaged) into the one shared
-  /// tree, and results land in the shared striped-lock result set. The
-  /// result is exact and identical (in canonical order) for any thread
-  /// count. 1 = sequential.
+  /// tree, and the exported result is exact and identical (in canonical
+  /// order) for any thread count. 1 = sequential.
   int num_threads = 1;
+  /// How leftmost work is split across workers (ignored for 1 thread).
+  ParallelMode parallel_mode = ParallelMode::kChunkStealing;
+  /// Chunk-stealing granularity: each table is cut into about
+  /// chunks_per_thread * num_threads chunks...
+  int chunks_per_thread = 8;
+  /// ...but never into chunks smaller than this many positions, so claim
+  /// and publication overhead stays negligible per chunk.
+  int64_t min_chunk_rows = 16;
 };
 
 struct SkinnerCStats {
@@ -80,7 +102,8 @@ struct SkinnerCStats {
 /// join order per slice; per-table tuple offsets plus a shared-prefix
 /// progress tree preserve and share progress across orders; rewards
 /// measure per-slice progress. With num_threads > 1 the leftmost table's
-/// range is partitioned across search workers (paper 4.4).
+/// range is partitioned across search workers (paper 4.4), by default
+/// through a stealable chunk queue with shared offset publication.
 class SkinnerCEngine {
  public:
   SkinnerCEngine(const PreparedQuery* pq, const SkinnerCOptions& opts);
@@ -90,16 +113,18 @@ class SkinnerCEngine {
 
   /// Runs to completion (or deadline); appends result position tuples in
   /// canonical (lexicographically sorted) order — bit-identical for any
-  /// num_threads.
+  /// num_threads, parallel mode, or thread schedule.
   Status Run(ResultSet* out);
 
   const SkinnerCStats& stats() const { return stats_; }
 
  private:
-  /// One search worker: owns a static stripe [stripe_lo, stripe_hi) of
-  /// every table's position range (used when that table is leftmost), plus
-  /// all per-worker execution state. Sequential execution is the T=1
-  /// special case whose single worker owns every full range.
+  /// One search worker. Sequential execution is the T=1 special case whose
+  /// single worker owns every full range. The stripe/offset/progress
+  /// members carry per-worker state for the sequential and static-stripe
+  /// paths; under chunk stealing the equivalent state lives per chunk in
+  /// the shared board and workers keep only cursors, clock, and the
+  /// private result sink.
   struct Worker {
     int id = 0;
     std::vector<int64_t> stripe_lo;  // per table
@@ -112,9 +137,18 @@ class SkinnerCEngine {
     JoinLoopStats loop_stats;
     double slice_reward = 0;
     bool slice_done = false;
+    /// Chunk stealing: worker-private result sink (no locks on the emit
+    /// path); merged sorted-unique across workers at export.
+    ResultSet local;
 
-    explicit Worker(int num_tables) : progress(num_tables) {}
+    explicit Worker(int num_tables)
+        : progress(num_tables), local(num_tables) {}
   };
+
+  bool stealing() const {
+    return workers_.size() > 1 &&
+           opts_.parallel_mode == ParallelMode::kChunkStealing;
+  }
 
   void InitWorkers();
   JoinCursor* CursorFor(Worker* w, const std::vector<int>& order);
@@ -127,7 +161,37 @@ class SkinnerCEngine {
 
   /// Executes one budgeted slice of `order` on `w`'s stripe via the shared
   /// multiway-join loop; records the slice reward and completion flag.
+  /// Sequential (T=1) and static-stripe path.
   void RunWorkerSlice(Worker* w, const std::vector<int>& order);
+
+  // ---- Chunk-stealing path (default for T > 1) ----
+
+  /// Rebuilds the per-slice work list: the still-incomplete chunks of
+  /// `order`'s leftmost table, cut into contiguous per-worker blocks.
+  void BuildSliceWork(int leftmost_table);
+
+  /// Claims the next chunk for `w`: from its own block first, then — when
+  /// its block has drained — stealing from the other workers' blocks.
+  /// Returns the chunk id, or -1 when no unclaimed work remains.
+  int ClaimChunk(Worker* w);
+
+  /// Runs one claimed chunk of `order` until the chunk's leftmost range is
+  /// exhausted or `*budget_left` runs out; publishes completed offsets,
+  /// stores the suspension in the chunk's progress tree, and returns the
+  /// chunk's reward-potential increase.
+  double RunChunk(Worker* w, const std::vector<int>& order, int chunk_id,
+                  int64_t* budget_left);
+
+  /// Resume state for `order` on one shared chunk: the chunk's stored
+  /// progress fast-forwarded past its published offset and all published
+  /// completed ranges of the deeper tables, or a fresh start at the
+  /// chunk's offset.
+  JoinState RestoreChunkState(int chunk_id, const std::vector<int>& order,
+                              JoinCursor* cursor);
+
+  /// Worker slice under stealing: claim chunks (own block, then steal)
+  /// until the slice budget is spent or no work remains.
+  void RunWorkerSliceStealing(Worker* w, const std::vector<int>& order);
 
   double ProgressValue(const Worker& w, const std::vector<int>& order,
                        const JoinState& state) const;
@@ -137,8 +201,8 @@ class SkinnerCEngine {
   double RewardPotential(const Worker& w, const std::vector<int>& order,
                          const JoinState& state) const;
 
-  /// True once some table's stripes are consumed by all workers (every
-  /// tuple of that table fully joined => result complete).
+  /// True once some table is fully joined as a leftmost table (=> result
+  /// complete): all stripes consumed, or all chunks published complete.
   bool CompletedTable() const;
 
   size_t AuxiliaryBytes() const;
@@ -158,6 +222,17 @@ class SkinnerCEngine {
   std::vector<int64_t> zero_lower_;  // descend lower bounds when T > 1
   SkinnerCStats stats_;
   bool finished_ = false;
+
+  /// Chunk-stealing shared state: the chunk/offset publication board, plus
+  /// the per-slice work list of pending chunk ids of the slice's leftmost
+  /// table. Blocks are claimed through per-worker atomic cursors; a
+  /// fetch_add hands out each index exactly once, which makes claims (and
+  /// steals) exclusive without locks.
+  std::unique_ptr<SharedProgress> shared_;
+  std::vector<int> work_ids_;
+  std::unique_ptr<std::atomic<size_t>[]> work_next_;  // per worker
+  std::vector<size_t> work_end_;                      // per worker block end
+  int work_table_ = -1;
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

@@ -28,7 +28,8 @@ struct RunOutput {
 };
 
 RunOutput RunSkinnerC(Database* db, const std::string& sql, int num_threads,
-                      int64_t slice_budget) {
+                      int64_t slice_budget,
+                      ParallelMode mode = ParallelMode::kChunkStealing) {
   RunOutput out;
   auto bound = db->Bind(sql);
   EXPECT_TRUE(bound.ok()) << bound.status().ToString();
@@ -44,6 +45,7 @@ RunOutput RunSkinnerC(Database* db, const std::string& sql, int num_threads,
   SkinnerCOptions opts;
   opts.num_threads = num_threads;
   opts.slice_budget = slice_budget;
+  opts.parallel_mode = mode;
   SkinnerCEngine engine(pq.value().get(), opts);
   ResultSet rs(pq.value()->num_tables());
   EXPECT_TRUE(engine.Run(&rs).ok());
@@ -92,6 +94,93 @@ INSTANTIATE_TEST_SUITE_P(
                                          TortureMode::kCorrelated,
                                          TortureMode::kTrivial),
                        ::testing::Values(11u, 12u)));
+
+// Skewed-leftmost-table torture workload for chunk stealing: the first
+// `hot_keys * hot_fanout` positions of every table carry explosive-fanout
+// keys (clustered, so they land in the first chunks / the first static
+// stripe), the tail is unique keys with fanout <= 1. Under static stripes
+// worker 0 owns all the expensive rows; under stealing its chunks get
+// redistributed — either way the bit-identical result contract must hold
+// for any thread count, budget, and mode.
+void BuildSkewedDb(Database* db, int num_tables, int hot_keys,
+                   int64_t hot_fanout, int64_t tail_rows) {
+  for (int t = 0; t < num_tables; ++t) {
+    std::string name = "s" + std::to_string(t);
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE " + name + " (k INT, v INT)").ok());
+    Table* table = db->catalog()->FindTable(name);
+    int64_t r = 0;
+    for (int k = 0; k < hot_keys; ++k) {
+      for (int64_t c = 0; c < hot_fanout; ++c, ++r) {
+        table->mutable_column(0)->AppendInt(k);
+        table->mutable_column(1)->AppendInt(r);
+        table->CommitRow();
+      }
+    }
+    for (int64_t i = 0; i < tail_rows; ++i, ++r) {
+      table->mutable_column(0)->AppendInt(1000 + i);
+      table->mutable_column(1)->AppendInt(r);
+      table->CommitRow();
+    }
+  }
+}
+
+std::string SkewedChainSql(int num_tables) {
+  std::string sql = "SELECT COUNT(*) FROM ";
+  for (int t = 0; t < num_tables; ++t) {
+    if (t > 0) sql += ", ";
+    sql += "s" + std::to_string(t);
+  }
+  sql += " WHERE ";
+  for (int t = 0; t + 1 < num_tables; ++t) {
+    if (t > 0) sql += " AND ";
+    sql += "s" + std::to_string(t) + ".k = s" + std::to_string(t + 1) + ".k";
+  }
+  return sql;
+}
+
+TEST(SkewedStealingTest, ThreadCountsAndModesAgreeBitIdentical) {
+  Database db;
+  BuildSkewedDb(&db, 4, /*hot_keys=*/4, /*hot_fanout=*/4, /*tail_rows=*/70);
+  const std::string sql = SkewedChainSql(4);
+
+  // Tiny budgets force many slices, chunk suspensions mid-hot-region,
+  // frontier-based re-emission, and lots of steals near the endgame.
+  for (int64_t budget : {7, 300}) {
+    RunOutput base = RunSkinnerC(&db, sql, 1, budget);
+    ASSERT_FALSE(base.timed_out);
+    ASSERT_GT(base.result_tuples, 0u);
+    for (int threads : {2, 8}) {
+      RunOutput steal = RunSkinnerC(&db, sql, threads, budget,
+                                    ParallelMode::kChunkStealing);
+      ASSERT_FALSE(steal.timed_out);
+      EXPECT_EQ(base.result_tuples, steal.result_tuples)
+          << "steal threads=" << threads << " budget=" << budget;
+      EXPECT_EQ(base.tuples, steal.tuples)
+          << "steal threads=" << threads << " budget=" << budget;
+      RunOutput stripe = RunSkinnerC(&db, sql, threads, budget,
+                                     ParallelMode::kStaticStripe);
+      ASSERT_FALSE(stripe.timed_out);
+      EXPECT_EQ(base.tuples, stripe.tuples)
+          << "stripe threads=" << threads << " budget=" << budget;
+    }
+  }
+}
+
+// Chunk stealing is schedule-nondeterministic internally (which worker
+// runs which chunk varies), so hammer the same configuration repeatedly:
+// the exported canonical result must be identical on every repetition.
+TEST(SkewedStealingTest, RepeatedRunsStayBitIdentical) {
+  Database db;
+  BuildSkewedDb(&db, 3, /*hot_keys=*/3, /*hot_fanout=*/5, /*tail_rows=*/50);
+  const std::string sql = SkewedChainSql(3);
+  RunOutput base = RunSkinnerC(&db, sql, 1, 11);
+  ASSERT_GT(base.result_tuples, 0u);
+  for (int rep = 0; rep < 5; ++rep) {
+    RunOutput par = RunSkinnerC(&db, sql, 8, 11);
+    EXPECT_EQ(base.tuples, par.tuples) << "rep=" << rep;
+  }
+}
 
 // Random SPJ databases (the cross-engine property harness) under thread
 // counts 1/2/8: counts agree with the single-threaded engine through the

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace skinner {
 namespace {
 
@@ -111,6 +115,128 @@ TEST(ProgressTreeTest, ExactStatePreferredOverShallowFrontier) {
   // Exact state at depth 2 wins over the depth-0/1 frontiers (all from the
   // same backup, so lex order ties at each prefix).
   EXPECT_EQ(s.depth, 2);
+}
+
+// ---- SharedProgress: the chunk/offset publication board used by
+// chunk-stealing parallel Skinner-C (PR 3). ----
+
+TEST(SharedProgressTest, ChunkLayoutCoversRange) {
+  // 100 rows, ~4 target chunks, min 16 rows => chunk_size 25, 4 chunks.
+  SharedProgress sp({100, 10}, 2, 4, 16);
+  ASSERT_EQ(sp.num_chunks(0), 4);
+  EXPECT_EQ(sp.chunk_lo(0, 0), 0);
+  EXPECT_EQ(sp.chunk_hi(0, 3), 100);
+  for (int c = 0; c + 1 < sp.num_chunks(0); ++c) {
+    EXPECT_EQ(sp.chunk_hi(0, c), sp.chunk_lo(0, c + 1));
+  }
+  // The 10-row table collapses to one min-sized chunk.
+  ASSERT_EQ(sp.num_chunks(1), 1);
+  EXPECT_EQ(sp.chunk_hi(1, 0), 10);
+}
+
+TEST(SharedProgressTest, PublishIsMonotonePerChunk) {
+  SharedProgress sp({100}, 1, 4, 16);
+  sp.Publish(0, 1, 30);
+  EXPECT_EQ(sp.chunk_offset(0, 1), 30);
+  sp.Publish(0, 1, 28);  // stale publication must not regress the offset
+  EXPECT_EQ(sp.chunk_offset(0, 1), 30);
+  sp.Publish(0, 1, 44);
+  EXPECT_EQ(sp.chunk_offset(0, 1), 44);
+  sp.Publish(0, 1, 999);  // clamped to the chunk's end
+  EXPECT_EQ(sp.chunk_offset(0, 1), 50);
+  EXPECT_TRUE(sp.ChunkComplete(0, 1));
+}
+
+TEST(SharedProgressTest, PrefixAdvancesOnlyContiguously) {
+  SharedProgress sp({100}, 1, 4, 16);  // chunks [0,25) [25,50) [50,75) [75,100)
+  // Completing a middle chunk does not move the prefix...
+  sp.Publish(0, 2, 75);
+  EXPECT_EQ(sp.CompletedPrefix(0), 0);
+  // ...but its completion is visible to descends through the view.
+  EXPECT_EQ(sp.views()[0].SkipCompleted(55), 75);
+  // A partial first chunk advances the prefix to its offset.
+  sp.Publish(0, 0, 10);
+  EXPECT_EQ(sp.CompletedPrefix(0), 10);
+  // Completing chunks 0 and 1 jumps the prefix across completed chunk 2
+  // into chunk 3.
+  sp.Publish(0, 0, 25);
+  EXPECT_EQ(sp.CompletedPrefix(0), 25);
+  sp.Publish(0, 1, 50);
+  EXPECT_EQ(sp.CompletedPrefix(0), 75);
+  EXPECT_FALSE(sp.TableComplete(0));
+  sp.Publish(0, 3, 100);
+  EXPECT_EQ(sp.CompletedPrefix(0), 100);
+  EXPECT_TRUE(sp.TableComplete(0));
+  EXPECT_TRUE(sp.AnyTableComplete());
+}
+
+TEST(SharedProgressTest, SkipCompletedWalksScatteredChunks) {
+  SharedProgress sp({100}, 1, 4, 16);
+  const PublishedOffsets& view = sp.views()[0];
+  EXPECT_EQ(view.SkipCompleted(40), 40);  // nothing published yet
+  sp.Publish(0, 1, 40);
+  EXPECT_EQ(view.SkipCompleted(25), 40);  // [25,40) complete
+  EXPECT_EQ(view.SkipCompleted(40), 40);  // the frontier itself is pending
+  // Complete chunks 1..2 and part of 3: one skip crosses all of them.
+  sp.Publish(0, 1, 50);
+  sp.Publish(0, 2, 75);
+  sp.Publish(0, 3, 80);
+  EXPECT_EQ(view.SkipCompleted(30), 80);
+  EXPECT_EQ(view.SkipCompleted(80), 80);
+  EXPECT_EQ(view.SkipCompleted(90), 90);
+  // Positions below untouched chunk 0 are unaffected.
+  EXPECT_EQ(view.SkipCompleted(5), 5);
+}
+
+// The satellite requirement: published offsets are monotone per
+// (order-prefix, chunk) even under concurrent publication. Writers hammer
+// the same chunks with interleaved offsets while a reader continuously
+// snapshots; every snapshot sequence must be non-decreasing. Runs under
+// the TSan CI job, which additionally checks the atomics are race-free.
+TEST(SharedProgressTest, ConcurrentPublicationStaysMonotone) {
+  SharedProgress sp({400}, 1, 8, 16);  // chunk_size 50, 8 chunks
+  const int kChunks = sp.num_chunks(0);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+
+  std::thread reader([&] {
+    std::vector<int64_t> last(static_cast<size_t>(kChunks), 0);
+    int64_t last_prefix = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int c = 0; c < kChunks; ++c) {
+        int64_t off = sp.chunk_offset(0, c);
+        if (off < last[static_cast<size_t>(c)]) {
+          violated.store(true, std::memory_order_release);
+        }
+        last[static_cast<size_t>(c)] = off;
+      }
+      int64_t prefix = sp.CompletedPrefix(0);
+      if (prefix < last_prefix) violated.store(true, std::memory_order_release);
+      last_prefix = prefix;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      // Interleaved, deliberately non-sorted publications per chunk.
+      for (int round = 0; round < 2000; ++round) {
+        int c = (round * 7 + w * 3) % kChunks;
+        int64_t base = sp.chunk_lo(0, c);
+        sp.Publish(0, c, base + ((round * 13 + w * 17) % 51));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_FALSE(violated.load());
+  // Every chunk saw offset base+50 published at some round => complete.
+  for (int c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(sp.chunk_offset(0, c), sp.chunk_hi(0, c)) << "chunk " << c;
+  }
+  EXPECT_TRUE(sp.TableComplete(0));
 }
 
 }  // namespace
