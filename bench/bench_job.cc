@@ -21,7 +21,7 @@ namespace {
 constexpr uint64_t kDeadline = 30'000'000;  // virtual units per query
 
 void RunConfig(Database* db, const JobWorkload& w, const char* label,
-               bool parallel) {
+               const char* metric_prefix, bool parallel) {
   struct EngineRow {
     const char* name;
     ExecOptions opts;
@@ -80,6 +80,7 @@ void RunConfig(Database* db, const JobWorkload& w, const char* label,
 
   TablePrinter table({"Approach", "Total Cost", "Total Card.", "Max Cost",
                       "Max Card.", "Total ms", "Timeouts"});
+  std::vector<Totals> all_totals;
   for (const EngineRow& e : engines) {
     Totals totals;
     for (size_t i = 0; i < w.queries.size(); ++i) {
@@ -95,9 +96,30 @@ void RunConfig(Database* db, const JobWorkload& w, const char* label,
                   skinner_card ? FormatCount(totals.max_intermediate) : "N/A",
                   StrFormat("%.0f", totals.total_ms),
                   std::to_string(totals.timeouts)});
+    all_totals.push_back(totals);
   }
   std::printf("\n=== %s ===\n", label);
   table.Print();
+
+  // CI-gated metrics (deterministic virtual-cost units; the parallel
+  // config's pre-processing cost is a max over tables, also exact):
+  // Skinner-C total/worst-query cost plus the traditional engines' totals;
+  // the accumulated intermediate cardinality is informational (paper
+  // Tables 1/2's optimizer-quality column). Engine indexes match the
+  // `engines` construction above.
+  std::printf("RESULT bench_job %s_skinner_c_total_cost=%llu "
+              "%s_skinner_c_max_cost=%llu %s_skinner_c_total_card=%llu "
+              "%s_volcano_total_cost=%llu %s_block_total_cost=%llu\n",
+              metric_prefix,
+              static_cast<unsigned long long>(all_totals[0].total_cost),
+              metric_prefix,
+              static_cast<unsigned long long>(all_totals[0].max_cost),
+              metric_prefix,
+              static_cast<unsigned long long>(all_totals[0].total_intermediate),
+              metric_prefix,
+              static_cast<unsigned long long>(all_totals[1].total_cost),
+              metric_prefix,
+              static_cast<unsigned long long>(all_totals[4].total_cost));
 }
 
 }  // namespace
@@ -110,8 +132,9 @@ int main() {
   if (!GenerateJob(&db, spec).ok()) return 1;
   JobWorkload w = JobQueries();
 
-  RunConfig(&db, w, "Table 1: single-threaded", /*parallel=*/false);
-  RunConfig(&db, w, "Table 2: parallel pre-processing", /*parallel=*/true);
+  RunConfig(&db, w, "Table 1: single-threaded", "t1", /*parallel=*/false);
+  RunConfig(&db, w, "Table 2: parallel pre-processing", "t2",
+            /*parallel=*/true);
   std::printf(
       "\nShape check vs paper: Skinner-C should lead on Total Card. and\n"
       "Max Cost; the materializing engine (MonetDB stand-in) suffers on a\n"

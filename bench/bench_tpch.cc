@@ -24,7 +24,7 @@ namespace {
 constexpr uint64_t kDeadline = 60'000'000;
 
 void RunScenario(Database* db, const std::vector<TpchQuery>& queries,
-                 const char* label) {
+                 const char* label, const char* metric_prefix) {
   struct Approach {
     const char* name;
     ExecOptions opts;
@@ -83,6 +83,8 @@ void RunScenario(Database* db, const std::vector<TpchQuery>& queries,
 
   // Table 7 style summary: total cost + max relative overhead.
   TablePrinter summary({"Approach", "Total Cost", "Max Rel."});
+  std::vector<uint64_t> totals(approaches.size(), 0);
+  std::vector<double> max_rels(approaches.size(), 0);
   for (size_t a = 0; a < approaches.size(); ++a) {
     uint64_t total = 0;
     double max_rel = 0;
@@ -95,10 +97,24 @@ void RunScenario(Database* db, const std::vector<TpchQuery>& queries,
       max_rel = std::max(max_rel, static_cast<double>(costs[a][qi]) /
                                       std::max<double>(1.0, static_cast<double>(best)));
     }
+    totals[a] = total;
+    max_rels[a] = max_rel;
     summary.AddRow({approaches[a].name, FormatCount(total),
                     StrFormat("%.1f", max_rel)});
   }
   summary.Print();
+
+  // CI-gated metrics (deterministic virtual-cost units): Skinner-C's total
+  // cost and worst per-query overhead vs the best approach, plus the
+  // traditional engines' totals for context. Approach indexes match the
+  // `approaches` construction above.
+  std::printf("RESULT bench_tpch %s_skinner_c_total_cost=%llu "
+              "%s_skinner_c_worst_overhead=%.2f "
+              "%s_volcano_total_cost=%llu %s_block_total_cost=%llu\n",
+              metric_prefix, static_cast<unsigned long long>(totals[0]),
+              metric_prefix, max_rels[0], metric_prefix,
+              static_cast<unsigned long long>(totals[1]), metric_prefix,
+              static_cast<unsigned long long>(totals[4]));
 }
 
 }  // namespace
@@ -111,8 +127,8 @@ int main() {
   if (!GenerateTpch(&db, spec).ok()) return 1;
   if (!RegisterTpchUdfs(&db).ok()) return 1;
 
-  RunScenario(&db, TpchQueries(), "Standard TPC-H (SF 0.01)");
-  RunScenario(&db, TpchUdfQueries(), "TPC-H with UDFs (SF 0.01)");
+  RunScenario(&db, TpchQueries(), "Standard TPC-H (SF 0.01)", "std");
+  RunScenario(&db, TpchUdfQueries(), "TPC-H with UDFs (SF 0.01)", "udf");
   std::printf(
       "\nShape check vs paper: the Block engine leads on standard TPC-H;\n"
       "with UDF-wrapped predicates the optimizer-driven engines degrade by\n"

@@ -91,6 +91,7 @@ extract_metrics() {
 
 ALL_BENCHES=(
   bench_trivial
+  bench_batch
   bench_convergence
   bench_learning_vs_random
   bench_order_quality

@@ -1,8 +1,14 @@
 #include "api/database.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_map>
 
+#include "api/query_pipeline.h"
 #include "common/clock.h"
+#include "common/hash_util.h"
+#include "common/parallel.h"
 #include "optimizer/dp_optimizer.h"
 
 namespace skinner {
@@ -62,19 +68,16 @@ Status Database::Execute(const std::string& sql) {
 }
 
 Result<std::unique_ptr<BoundQuery>> Database::Bind(const std::string& sql) {
-  SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
-  if (stmt.kind != Statement::Kind::kSelect) {
-    return Status::InvalidArgument("expected a SELECT statement");
-  }
-  auto bound = std::make_unique<BoundQuery>();
-  SKINNER_ASSIGN_OR_RETURN(*bound, BindSelect(stmt.select.get(), &catalog_, &udfs_));
-  return bound;
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
+  SKINNER_ASSIGN_OR_RETURN(Statement stmt, pipeline.Parse(sql));
+  SKINNER_ASSIGN_OR_RETURN(BoundStage bound, pipeline.Bind(std::move(stmt)));
+  return std::move(bound.query);
 }
 
 Result<QueryOutput> Database::Query(const std::string& sql,
                                     const ExecOptions& opts) {
-  SKINNER_ASSIGN_OR_RETURN(auto bound, Bind(sql));
-  return RunSelect(*bound, opts);
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
+  return pipeline.Run(sql, opts);
 }
 
 Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
@@ -85,136 +88,133 @@ Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
 
 Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
                                         const ExecOptions& opts) {
-  Stopwatch watch;
-  QueryOutput out;
-  SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(query));
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
+  SKINNER_ASSIGN_OR_RETURN(PreparedStage prep,
+                           pipeline.PrepareExternal(&query, opts));
+  SKINNER_ASSIGN_OR_RETURN(ExecutedStage exec, pipeline.Execute(prep, opts));
+  return pipeline.PostProcess(prep, std::move(exec));
+}
 
-  VirtualClock clock;
-  PrepareOptions popts;
-  popts.build_hash_indexes = opts.build_hash_indexes;
-  popts.parallel = opts.parallel_preprocess;
-  popts.num_threads = opts.num_threads;
-  SKINNER_ASSIGN_OR_RETURN(
-      auto pq, PreparedQuery::Prepare(&query, &info, catalog_.string_pool(),
-                                      &clock, popts));
-  out.stats.preprocess_cost = pq->preprocess_cost();
+std::vector<Result<QueryOutput>> Database::QueryBatch(
+    const std::vector<BatchItem>& items, const BatchOptions& bopts) {
+  const size_t n = items.size();
+  // Prepared-state sharing scope: the database's cross-query cache, or a
+  // cache that lives exactly as long as this batch.
+  PreparedCache local_cache(std::max<size_t>(n, 1));
+  PreparedCache* cache = bopts.use_prepared_cache ? &cache_ : &local_cache;
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, cache);
 
-  ResultSet join_result(pq->num_tables());
-  if (!pq->trivially_empty()) {
-    switch (opts.engine) {
-      case EngineKind::kSkinnerC:
-      case EngineKind::kRandomOrder: {
-        SkinnerCOptions so;
-        so.slice_budget = opts.slice_budget;
-        so.uct_weight = opts.uct_weight_c;
-        so.policy = opts.engine == EngineKind::kRandomOrder
-                        ? SelectionPolicy::kRandom
-                        : SelectionPolicy::kUct;
-        so.reward = opts.reward;
-        so.seed = opts.seed;
-        so.deadline = opts.deadline;
-        so.collect_trace = opts.collect_trace;
-        so.num_threads = opts.skinner_threads;
-        so.parallel_mode = opts.skinner_parallel_mode;
-        SkinnerCEngine engine(pq.get(), so);
-        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
-        const SkinnerCStats& s = engine.stats();
-        out.stats.slices = s.slices;
-        out.stats.intermediate_tuples = s.intermediate_tuples;
-        out.stats.uct_nodes = s.uct_nodes;
-        out.stats.progress_nodes = s.progress_nodes;
-        out.stats.auxiliary_bytes = s.auxiliary_bytes;
-        out.stats.timed_out = s.timed_out;
-        out.stats.join_order = s.final_order;
-        out.stats.tree_growth = s.tree_growth;
-        out.stats.order_selections = s.order_selections;
-        break;
-      }
-      case EngineKind::kSkinnerG: {
-        SkinnerGOptions so;
-        so.batches_per_table = opts.batches_per_table;
-        so.timeout_unit = opts.timeout_unit;
-        so.uct_weight = opts.uct_weight_g;
-        so.engine = opts.generic_engine;
-        so.seed = opts.seed;
-        so.deadline = opts.deadline;
-        SkinnerGEngine engine(pq.get(), so);
-        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
-        out.stats.timed_out = engine.stats().timed_out;
-        out.stats.iterations = engine.stats().iterations;
-        break;
-      }
-      case EngineKind::kSkinnerH: {
-        Estimator estimator(&stats_);
-        PlanResult plan = OptimizeWithEstimates(info, query, &estimator);
-        SkinnerHOptions so;
-        so.g.batches_per_table = opts.batches_per_table;
-        so.g.timeout_unit = opts.timeout_unit;
-        so.g.uct_weight = opts.uct_weight_g;
-        so.g.engine = opts.generic_engine;
-        so.g.seed = opts.seed;
-        so.g.deadline = opts.deadline;
-        so.unit = opts.timeout_unit;
-        so.deadline = opts.deadline;
-        SkinnerHEngine engine(pq.get(), plan.order, so);
-        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
-        out.stats.timed_out = engine.stats().timed_out;
-        out.stats.iterations = engine.stats().g_stats.iterations;
-        out.stats.join_order = plan.order;
-        out.stats.estimated_cost = plan.cost;
-        break;
-      }
-      case EngineKind::kVolcano:
-      case EngineKind::kBlock: {
-        std::vector<int> order = opts.forced_order;
-        if (order.empty()) {
-          Estimator estimator(&stats_);
-          PlanResult plan = OptimizeWithEstimates(info, query, &estimator);
-          order = plan.order;
-          out.stats.estimated_cost = plan.cost;
-        }
-        out.stats.join_order = order;
-        ForcedExecOptions fo;
-        fo.deadline = opts.deadline;
-        ForcedExecResult r;
-        if (opts.engine == EngineKind::kVolcano) {
-          r = ExecuteForcedOrder(*pq, order, fo, &join_result);
-        } else {
-          BlockExecOptions bo;
-          static_cast<ForcedExecOptions&>(bo) = fo;
-          r = ExecuteBlock(*pq, order, bo, &join_result);
-        }
-        out.stats.timed_out = !r.completed;
-        out.stats.intermediate_tuples = r.intermediate_tuples;
-        break;
-      }
-      case EngineKind::kEddy: {
-        EddyOptions eo;
-        eo.seed = opts.seed;
-        eo.deadline = opts.deadline;
-        EddyEngine engine(pq.get(), eo);
-        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
-        out.stats.timed_out = engine.stats().timed_out;
-        break;
-      }
-      case EngineKind::kReopt: {
-        Estimator estimator(&stats_);
-        ReoptOptions ro;
-        ro.deadline = opts.deadline;
-        ReoptEngine engine(pq.get(), &estimator, ro);
-        SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
-        out.stats.timed_out = engine.stats().timed_out;
-        out.stats.replans = engine.stats().replans;
-        out.stats.join_order = engine.stats().executed_order;
-        break;
-      }
+  std::vector<std::optional<Result<QueryOutput>>> results(n);
+  std::vector<std::optional<BoundStage>> bound(n);
+  std::vector<ExecOptions> eopts(n);
+
+  // One template group per distinct (signature, prepare variant): the
+  // first item owns the group and pays the one pre-processing build;
+  // every other member executes over the owner's shared artifact.
+  struct Group {
+    size_t owner;
+    std::string signature;
+    std::vector<int> warm_order;  // snapshot, pre-batch (deterministic)
+    PreparedHandle handle;        // set by stage B
+  };
+  std::unordered_map<std::string, Group> groups;  // key -> group
+  std::vector<std::string> item_key(n);
+  std::vector<const std::string*> owner_keys;  // first-seen order
+
+  // Stage A (sequential): parse + bind every item. Binding interns string
+  // literals into the shared pool, which is append-only but not
+  // thread-safe — and it is orders of magnitude cheaper than
+  // prepare/execute, which do run concurrently below. Grouping (and the
+  // warm-start snapshot) happens here, before anything executes, so which
+  // item pays the build and which UCT hint every item sees are fixed
+  // deterministically — independent of worker count and schedule.
+  for (size_t i = 0; i < n; ++i) {
+    eopts[i] = items[i].opts;
+    eopts[i].use_prepared_cache = true;  // within-batch sharing is the point
+    if (bopts.derive_item_seeds) {
+      eopts[i].seed = HashMix64(bopts.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
     }
+    auto stmt = pipeline.Parse(items[i].sql);
+    if (!stmt.ok()) {
+      results[i] = stmt.status();
+      continue;
+    }
+    auto b = pipeline.Bind(stmt.MoveValue());
+    if (!b.ok()) {
+      results[i] = b.status();
+      continue;
+    }
+    std::string signature = ComputeQuerySignature(*b.value().query);
+    item_key[i] = PreparedCacheKey(signature, eopts[i].build_hash_indexes);
+    auto [it, inserted] = groups.emplace(item_key[i], Group{});
+    if (inserted) {
+      it->second.owner = i;
+      it->second.warm_order = cache->WarmOrder(signature);
+      it->second.signature = std::move(signature);
+      owner_keys.push_back(&it->first);
+    }
+    bound[i] = b.MoveValue();
   }
 
-  out.stats.join_result_tuples = join_result.size();
-  SKINNER_ASSIGN_OR_RETURN(out.result, PostProcess(*pq, join_result));
-  out.stats.total_cost = clock.now();
-  out.stats.wall_ms = watch.ElapsedMillis();
+  const int workers =
+      static_cast<int>(std::min<size_t>(std::max(bopts.num_workers, 1), n));
+
+  // Stage B (parallel): one prepare per group, run by the owner. Groups
+  // are distinct map entries, so concurrent writes to their fields are
+  // race-free (the map's structure is frozen after stage A).
+  std::vector<std::optional<PreparedStage>> prepared(n);
+  ParallelFor(owner_keys.size(), workers, [&](size_t g) {
+    Group& group = groups.find(*owner_keys[g])->second;
+    const size_t i = group.owner;
+    auto prep = pipeline.Prepare(std::move(*bound[i]), eopts[i]);
+    if (!prep.ok()) {
+      results[i] = prep.status();
+      return;
+    }
+    group.handle = prep.value().shared;
+    prepared[i] = prep.MoveValue();
+  });
+
+  // Stage C (parallel): execute + post-process every item. Members bind
+  // directly to their owner's artifact handle — no cache round-trip, so
+  // sharing cannot be broken by LRU eviction inside large batches.
+  ParallelFor(n, workers, [&](size_t i) {
+    if (results[i].has_value()) return;  // parse/bind/prepare error
+    if (!prepared[i].has_value()) {
+      const Group& group = groups.find(item_key[i])->second;
+      if (group.handle == nullptr) {
+        // The owner's prepare failed; every member fails identically.
+        results[i] = results[group.owner].has_value() &&
+                             !results[group.owner]->ok()
+                         ? Result<QueryOutput>(results[group.owner]->status())
+                         : Result<QueryOutput>(
+                               Status::Internal("group prepare failed"));
+        return;
+      }
+      prepared[i] = pipeline.RebindStage(group.handle, group.signature);
+    }
+    if (eopts[i].warm_start) {
+      prepared[i]->warm_order = groups.find(item_key[i])->second.warm_order;
+    } else {
+      prepared[i]->warm_order.clear();
+    }
+    auto exec = pipeline.Execute(*prepared[i], eopts[i]);
+    if (!exec.ok()) {
+      results[i] = exec.status();
+      return;
+    }
+    results[i] = pipeline.PostProcess(*prepared[i], exec.MoveValue());
+    prepared[i].reset();  // release the artifact handle promptly
+  });
+
+  std::vector<Result<QueryOutput>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(results[i].has_value()
+                      ? std::move(*results[i])
+                      : Result<QueryOutput>(
+                            Status::Internal("batch item not executed")));
+  }
   return out;
 }
 

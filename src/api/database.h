@@ -8,6 +8,7 @@
 
 #include "baselines/eddy.h"
 #include "baselines/reopt.h"
+#include "exec/prepared_cache.h"
 #include "post/post_processor.h"
 #include "skinner/skinner_c.h"
 #include "skinner/skinner_g.h"
@@ -60,6 +61,17 @@ struct ExecOptions {
   bool parallel_preprocess = false;
   int num_threads = 4;
 
+  /// Serve pre-processing (filtering + index builds) from the database's
+  /// cross-query PreparedCache when an identical (normalized signature +
+  /// table data versions) SELECT was prepared before; a hit reports
+  /// preprocess_cost 0 and returns bit-identical results. Off by default:
+  /// the paper-reproduction benchmarks charge pre-processing per query.
+  /// QueryBatch() always shares prepared state across its items.
+  bool use_prepared_cache = false;
+  /// On cache interaction, seed Skinner-C's UCT priors from the
+  /// signature's last final join order (see SkinnerCOptions).
+  bool warm_start = true;
+
   // Traditional engines: force this join order instead of optimizing
   // (used to replay Skinner/optimal orders, paper Tables 3/4).
   std::vector<int> forced_order;
@@ -73,7 +85,9 @@ struct ExecOptions {
 struct ExecutionStats {
   double wall_ms = 0;
   uint64_t total_cost = 0;       // virtual units: preprocessing + join
-  uint64_t preprocess_cost = 0;
+  uint64_t preprocess_cost = 0;  // 0 when served from the PreparedCache
+  /// True when pre-processing was served from the PreparedCache.
+  bool prepared_from_cache = false;
   uint64_t join_result_tuples = 0;
   /// Accumulated intermediate result cardinality actually produced (the
   /// engine-independent optimizer-quality metric of paper Tables 1/2).
@@ -100,8 +114,35 @@ struct QueryOutput {
   ExecutionStats stats;
 };
 
-/// The SkinnerDB database facade: owns catalog, string pool, UDF registry
-/// and statistics; parses SQL; routes SELECTs through the chosen engine.
+/// One SELECT of a concurrent batch (see Database::QueryBatch).
+struct BatchItem {
+  std::string sql;
+  /// Engine + knobs for this item. The seed is overridden when the batch
+  /// derives per-item seeds; prepared-state sharing is always on within a
+  /// batch (BatchOptions::use_prepared_cache picks the scope).
+  ExecOptions opts;
+};
+
+/// Options of one Database::QueryBatch call.
+struct BatchOptions {
+  /// Worker threads executing items concurrently (1 = sequential).
+  int num_workers = 4;
+  /// Share prepared state through the database's cross-query
+  /// PreparedCache. When false, items still share pre-processing within
+  /// this batch via a batch-local cache, but nothing persists afterwards.
+  bool use_prepared_cache = true;
+  /// Derive each item's execution seed deterministically from (seed, item
+  /// index), so per-item results and statistics are a pure function of the
+  /// batch — bit-identical for any num_workers or thread schedule. When
+  /// false, every item keeps its own ExecOptions::seed.
+  bool derive_item_seeds = true;
+  uint64_t seed = 42;
+};
+
+/// The SkinnerDB database facade: owns catalog, string pool, UDF registry,
+/// statistics and the cross-query PreparedCache; parses SQL; routes
+/// SELECTs through the staged query pipeline (api/query_pipeline.h):
+/// parse -> bind -> prepare -> execute -> post-process.
 class Database {
  public:
   Database();
@@ -111,6 +152,10 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   UdfRegistry* udfs() { return &udfs_; }
   StatsManager* stats_manager() { return &stats_; }
+  /// The cross-query cache of pre-processing artifacts (hit/miss stats,
+  /// manual Clear()); populated by Query()/QueryBatch() when
+  /// ExecOptions::use_prepared_cache / BatchOptions ask for it.
+  PreparedCache* prepared_cache() { return &cache_; }
 
   /// Executes a DDL/DML statement (CREATE TABLE / INSERT / DROP TABLE).
   Status Execute(const std::string& sql);
@@ -119,11 +164,22 @@ class Database {
   Result<QueryOutput> Query(const std::string& sql,
                             const ExecOptions& opts = {});
 
+  /// Executes many SELECTs, `opts.num_workers` at a time, sharing cached
+  /// pre-processing artifacts across items (an artifact is built once per
+  /// distinct query template and reused by every item — and, with
+  /// use_prepared_cache, by later queries too). Results are per item, in
+  /// item order, and bit-identical for any worker count. Items must be
+  /// SELECTs; running DML concurrently with a batch is outside the API
+  /// contract (as for Query()).
+  std::vector<Result<QueryOutput>> QueryBatch(
+      const std::vector<BatchItem>& items, const BatchOptions& opts = {});
+
   /// Parses and binds a SELECT without running it (for benchmarks that
   /// re-execute one query under many engines).
   Result<std::unique_ptr<BoundQuery>> Bind(const std::string& sql);
 
-  /// Runs an already-bound SELECT.
+  /// Runs an already-bound SELECT. Never touches the PreparedCache (the
+  /// cache must own its bundles; here the caller owns the query).
   Result<QueryOutput> RunSelect(const BoundQuery& query,
                                 const ExecOptions& opts = {});
 
@@ -135,6 +191,7 @@ class Database {
   Catalog catalog_;
   UdfRegistry udfs_;
   StatsManager stats_;
+  PreparedCache cache_;
 };
 
 }  // namespace skinner

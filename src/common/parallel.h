@@ -1,0 +1,42 @@
+#ifndef SKINNER_COMMON_PARALLEL_H_
+#define SKINNER_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace skinner {
+
+/// Runs fn(i) for i in [0, count) on up to `max_threads` workers that
+/// claim indices through one atomic cursor (each index runs exactly once;
+/// no per-index ordering guarantees across workers). `fn` must be safe to
+/// call concurrently for distinct indices. Executes inline — no threads,
+/// ascending order — when one worker suffices.
+template <class Fn>
+void ParallelFor(size_t count, int max_threads, Fn&& fn) {
+  const size_t workers =
+      std::min(count, static_cast<size_t>(std::max(max_threads, 1)));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        size_t i = cursor.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_PARALLEL_H_

@@ -1,0 +1,206 @@
+#include "exec/prepared_cache.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace skinner {
+
+namespace {
+
+/// Serializes one bound expression unambiguously: every node contributes a
+/// kind tag, its operator/index payload, and parenthesized children, so no
+/// two distinct trees share a rendering (strings are length-prefixed; a
+/// double's bit pattern distinguishes values ToString would collapse).
+void AppendExprSignature(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      out->append(StrFormat("c%d.%d", e.table_idx, e.column_idx));
+      break;
+    case ExprKind::kLiteral: {
+      const Value& v = e.literal;
+      if (v.is_null()) {
+        out->append("ln");
+        break;
+      }
+      switch (v.type()) {
+        case DataType::kInt64:
+          out->append(StrFormat("li%lld", static_cast<long long>(v.AsInt())));
+          break;
+        case DataType::kDouble: {
+          uint64_t bits;
+          double d = v.AsDouble();
+          std::memcpy(&bits, &d, sizeof(d));
+          out->append(StrFormat("ld%llx", static_cast<unsigned long long>(bits)));
+          break;
+        }
+        case DataType::kString:
+          out->append(StrFormat("ls%zu:", v.AsString().size()));
+          out->append(v.AsString());
+          break;
+      }
+      break;
+    }
+    case ExprKind::kBinaryOp:
+      out->append(StrFormat("b%d", static_cast<int>(e.bin_op)));
+      break;
+    case ExprKind::kUnaryOp:
+      out->append(StrFormat("u%d", static_cast<int>(e.un_op)));
+      break;
+    case ExprKind::kFunctionCall:
+      out->append(StrFormat("f%zu:", e.func_name.size()));
+      out->append(e.func_name);
+      break;
+    case ExprKind::kAggregate:
+      out->append(StrFormat("a%d", static_cast<int>(e.agg)));
+      break;
+  }
+  if (!e.children.empty()) {
+    out->push_back('(');
+    for (size_t i = 0; i < e.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendExprSignature(*e.children[i], out);
+    }
+    out->push_back(')');
+  }
+}
+
+}  // namespace
+
+std::string ComputeQuerySignature(const BoundQuery& query) {
+  std::string sig;
+  sig.reserve(256);
+  sig.append("F:");
+  for (const BoundTable& t : query.tables) {
+    sig.append(StrFormat("%zu:", t.table->name().size()));
+    sig.append(ToLower(t.table->name()));
+    sig.push_back(';');
+  }
+  sig.append("|S:");
+  for (const BoundSelectItem& item : query.select) {
+    AppendExprSignature(*item.expr, &sig);
+    sig.append(StrFormat(" as %zu:", item.name.size()));
+    sig.append(item.name);
+    sig.push_back(';');
+  }
+  sig.append("|W:");
+  if (query.where != nullptr) AppendExprSignature(*query.where, &sig);
+  sig.append("|G:");
+  for (const auto& g : query.group_by) {
+    AppendExprSignature(*g, &sig);
+    sig.push_back(';');
+  }
+  sig.append("|O:");
+  for (const BoundOrderItem& o : query.order_by) {
+    AppendExprSignature(*o.expr, &sig);
+    sig.append(o.desc ? "D;" : "A;");
+  }
+  sig.append(StrFormat("|d%d|L%lld", query.distinct ? 1 : 0,
+                       static_cast<long long>(query.limit)));
+  return sig;
+}
+
+std::vector<TableStamp> ComputeTableStamps(const BoundQuery& query) {
+  std::vector<TableStamp> stamps;
+  stamps.reserve(query.tables.size());
+  for (const BoundTable& t : query.tables) {
+    stamps.push_back({t.table->id(), t.table->data_version()});
+  }
+  return stamps;
+}
+
+std::string PreparedCacheKey(const std::string& signature,
+                             bool build_hash_indexes) {
+  return signature + (build_hash_indexes ? "|P:i1" : "|P:i0");
+}
+
+PreparedCache::PreparedCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void PreparedCache::EvictLocked(const std::string& signature) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+PreparedHandle PreparedCache::Lookup(const std::string& signature,
+                                     const std::vector<TableStamp>& stamps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.stamps != stamps) {
+    // Same template, different data (or a re-created table): the artifact
+    // is stale — drop it so the re-prepare can take its slot.
+    ++invalidations_;
+    ++misses_;
+    EvictLocked(signature);
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.bundle;
+}
+
+void PreparedCache::Insert(const std::string& signature,
+                           std::vector<TableStamp> stamps,
+                           PreparedHandle bundle) {
+  if (bundle == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictLocked(signature);
+  while (entries_.size() >= capacity_) {
+    EvictLocked(lru_.back());
+  }
+  lru_.push_front(signature);
+  entries_.emplace(signature,
+                   Entry{std::move(stamps), std::move(bundle), lru_.begin()});
+}
+
+void PreparedCache::RecordFinalOrder(const std::string& signature,
+                                     std::vector<int> order) {
+  if (order.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = orders_.find(signature);
+  if (it != orders_.end()) {
+    it->second = std::move(order);
+    return;
+  }
+  // Bounded side table (FIFO): warm orders deliberately outlive entry
+  // invalidation, so they get their own, larger ring.
+  while (order_fifo_.size() >= capacity_ * 8) {
+    orders_.erase(order_fifo_.back());
+    order_fifo_.pop_back();
+  }
+  order_fifo_.push_front(signature);
+  orders_.emplace(signature, std::move(order));
+}
+
+std::vector<int> PreparedCache::WarmOrder(const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = orders_.find(signature);
+  return it == orders_.end() ? std::vector<int>() : it->second;
+}
+
+PreparedCache::Stats PreparedCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.invalidations = invalidations_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void PreparedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  orders_.clear();
+  order_fifo_.clear();
+}
+
+}  // namespace skinner

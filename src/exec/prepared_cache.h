@@ -1,0 +1,139 @@
+#ifndef SKINNER_EXEC_PREPARED_CACHE_H_
+#define SKINNER_EXEC_PREPARED_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/prepared_query.h"
+
+namespace skinner {
+
+/// Identity + data-version stamp of one FROM-list table at bind time. Two
+/// executions may share prepared state only if every referenced table has
+/// the same id (same CREATE, not a same-name re-creation) and the same
+/// data version (no INSERT since the artifact was built).
+struct TableStamp {
+  uint64_t table_id = 0;
+  uint64_t data_version = 0;
+
+  bool operator==(const TableStamp& o) const {
+    return table_id == o.table_id && data_version == o.data_version;
+  }
+  bool operator!=(const TableStamp& o) const { return !(*this == o); }
+};
+
+/// Everything a shared PreparedQuery::Data points into, bundled under one
+/// shared_ptr so a cache hit keeps the expression trees and query analysis
+/// alive for as long as any execution uses them. `bound` may be null when
+/// the caller owns the BoundQuery (Database::RunSelect path — such bundles
+/// are never cached).
+struct PreparedBundle {
+  std::unique_ptr<BoundQuery> bound;
+  std::unique_ptr<QueryInfo> info;  // points into *bound (or the caller's query)
+  std::shared_ptr<const PreparedQuery::Data> data;
+};
+
+using PreparedHandle = std::shared_ptr<const PreparedBundle>;
+
+/// Canonical signature of a bound SELECT: an unambiguous serialization of
+/// the FROM list (table names), every bound expression (by table/column
+/// index, operator codes and literal values — string literals are
+/// length-prefixed, doubles serialized by bit pattern), DISTINCT, GROUP
+/// BY, ORDER BY and LIMIT. Template-identical queries — same normalized
+/// structure regardless of the original SQL text — map to the same
+/// signature and can share one pre-processing artifact.
+std::string ComputeQuerySignature(const BoundQuery& query);
+
+/// The (id, data version) stamps of the query's FROM tables, in FROM order.
+std::vector<TableStamp> ComputeTableStamps(const BoundQuery& query);
+
+/// The key actually used for cache entries: the query signature plus the
+/// pre-processing variant. An artifact built without hash indexes must not
+/// serve a query that wants them (engines would silently fall back to full
+/// scans), and vice versa — so the variant is part of the entry identity.
+/// Warm-start orders stay keyed by the plain signature: a good join order
+/// is a property of the query template, not of the index variant.
+std::string PreparedCacheKey(const std::string& signature,
+                             bool build_hash_indexes);
+
+/// Cross-query cache of pre-processing artifacts (paper Figure 2 / 4.5:
+/// per-query filtering and hash-index builds), keyed by (signature, table
+/// stamps). A hit returns a shared PreparedBundle — the repeated query
+/// skips filtering and index builds entirely and reports preprocess_cost
+/// 0. A signature match with stale stamps (DML since the build) evicts the
+/// entry and counts as an invalidation; entries for dropped tables become
+/// unreachable the same way (the stamps of a re-created table carry a new
+/// table id) and age out of the LRU ring.
+///
+/// The cache additionally remembers, per signature, the last join order
+/// Skinner-C converged to, surviving data invalidation: the order quality
+/// depends on the data distribution, which DML rarely changes drastically,
+/// so a re-prepared template can still warm-start its UCT tree from it
+/// (learning itself stays per-execution, consistent with the paper).
+///
+/// All methods are thread-safe; handles returned from Lookup stay valid
+/// after eviction (shared ownership).
+class PreparedCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit PreparedCache(size_t capacity = kDefaultCapacity);
+  PreparedCache(const PreparedCache&) = delete;
+  PreparedCache& operator=(const PreparedCache&) = delete;
+
+  /// Returns the bundle for (signature, stamps), or null on miss. A stale
+  /// entry under the same signature is evicted (counted as invalidation).
+  PreparedHandle Lookup(const std::string& signature,
+                        const std::vector<TableStamp>& stamps);
+
+  /// Registers a freshly prepared bundle. An existing entry under the same
+  /// signature is replaced; the least recently used entry is evicted once
+  /// `capacity` is exceeded.
+  void Insert(const std::string& signature, std::vector<TableStamp> stamps,
+              PreparedHandle bundle);
+
+  /// Records the final join order an execution of `signature` converged to
+  /// (Skinner-C's UCT exploitation path). Empty orders are ignored.
+  void RecordFinalOrder(const std::string& signature, std::vector<int> order);
+
+  /// The last recorded final order for `signature` (empty if none).
+  std::vector<int> WarmOrder(const std::string& signature) const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // signature hits discarded on stale stamps
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Drops all entries and warm orders (stats are kept).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::vector<TableStamp> stamps;
+    PreparedHandle bundle;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictLocked(const std::string& signature);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::vector<int>> orders_;
+  std::list<std::string> order_fifo_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace skinner
+
+#endif  // SKINNER_EXEC_PREPARED_CACHE_H_

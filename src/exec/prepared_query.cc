@@ -1,11 +1,10 @@
 #include "exec/prepared_query.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <thread>
 
 #include "common/hash_util.h"
+#include "common/parallel.h"
 
 namespace skinner {
 
@@ -46,6 +45,9 @@ void HashIndex::Build() {
   built_ = true;
   if (staged_.empty()) {
     num_keys_ = 0;
+    // Release any staging capacity even on the empty path so bytes() never
+    // charges the frozen index for build-time scratch.
+    std::vector<std::pair<uint64_t, int32_t>>().swap(staged_);
     return;
   }
   // Capacity: next power of two holding the staged pairs at <= 50% load
@@ -83,25 +85,32 @@ void HashIndex::Build() {
     arena_[slots_[i].offset + cursor[i]] = pos;
     ++cursor[i];
   }
-  staged_.clear();
-  staged_.shrink_to_fit();
+  // Swap-release the staging vector: shrink_to_fit is only a request, and
+  // the "exact heap footprint" contract of bytes() must not keep charging
+  // for scratch that the index no longer needs.
+  std::vector<std::pair<uint64_t, int32_t>>().swap(staged_);
 }
 
 namespace {
 
 /// Filters one table by its unary predicates; returns surviving base rows
-/// and the number of cost units spent.
+/// and the number of cost units spent. Operates on the raw table list so
+/// it can run while the PreparedQuery::Data is still under construction.
 std::pair<std::vector<int32_t>, uint64_t> FilterTable(
-    const PreparedQuery& pq, const std::vector<const Expr*>& preds, int t) {
-  const Table* table = pq.table(t);
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const std::vector<const Expr*>& preds, int t) {
+  const Table* table = tables[static_cast<size_t>(t)];
   std::vector<int32_t> rows;
   uint64_t cost = 0;
   int64_t n = table->num_rows();
   rows.reserve(static_cast<size_t>(n));
-  std::vector<int64_t> binding(static_cast<size_t>(pq.num_tables()), 0);
+  std::vector<int64_t> binding(tables.size(), 0);
   // Use a local clock so parallel filtering does not race on the shared one.
   VirtualClock local;
-  EvalContext ctx = pq.MakeEvalContext(binding.data());
+  EvalContext ctx;
+  ctx.tables = &tables;
+  ctx.pool = pool;
+  ctx.rows = binding.data();
   ctx.clock = &local;
   for (int64_t r = 0; r < n; ++r) {
     ++cost;
@@ -123,102 +132,113 @@ std::pair<std::vector<int32_t>, uint64_t> FilterTable(
 const HashIndex* PreparedQuery::index(int t, int col) const {
   uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) |
                  static_cast<uint32_t>(col);
-  auto it = indexes_.find(key);
-  return it == indexes_.end() ? nullptr : it->second.get();
+  auto it = data_->indexes.find(key);
+  return it == data_->indexes.end() ? nullptr : it->second.get();
 }
 
-Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
+std::unique_ptr<PreparedQuery> PreparedQuery::Rebind(
     const BoundQuery* query, const QueryInfo* info, const StringPool* pool,
-    VirtualClock* clock, const PrepareOptions& opts) {
+    VirtualClock* clock, std::shared_ptr<const Data> data) {
   auto pq = std::unique_ptr<PreparedQuery>(new PreparedQuery());
   pq->query_ = query;
   pq->info_ = info;
   pq->pool_ = pool;
   pq->clock_ = clock;
-  pq->tables_ = query->TablePtrs();
-  int m = pq->num_tables();
-  pq->filtered_.resize(static_cast<size_t>(m));
+  pq->data_ = std::move(data);
+  return pq;
+}
 
-  // Constant predicates decide emptiness without touching data.
+Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
+    const BoundQuery* query, const QueryInfo* info, const StringPool* pool,
+    VirtualClock* clock, const PrepareOptions& opts) {
+  auto data = std::make_shared<Data>();
+  data->tables = query->TablePtrs();
+  const int m = static_cast<int>(data->tables.size());
+  data->filtered.resize(static_cast<size_t>(m));
+
+  // Constant predicates decide emptiness without touching data. Their
+  // (typically negligible) evaluation cost counts as pre-processing.
   {
+    VirtualClock local;
     std::vector<int64_t> binding(static_cast<size_t>(m), 0);
-    EvalContext ctx = pq->MakeEvalContext(binding.data());
+    EvalContext ctx;
+    ctx.tables = &data->tables;
+    ctx.pool = pool;
+    ctx.rows = binding.data();
+    ctx.clock = &local;
+    bool empty = false;
     for (const PredInfo& p : info->constant_preds()) {
       if (!EvalPredicate(*p.expr, ctx)) {
-        pq->trivially_empty_ = true;
-        return pq;
+        empty = true;
+        break;
       }
+    }
+    data->preprocess_cost += local.now();
+    if (empty) {
+      data->trivially_empty = true;
+      clock->Tick(data->preprocess_cost);
+      return Rebind(query, info, pool, clock, std::move(data));
     }
   }
 
   // Unary filtering, optionally parallel (paper: pre-processing is the one
   // parallelized phase of Skinner-C).
   if (opts.parallel && m > 1) {
-    std::vector<std::thread> threads;
     std::vector<std::pair<std::vector<int32_t>, uint64_t>> results(
         static_cast<size_t>(m));
-    int num_threads = std::max(1, opts.num_threads);
-    std::vector<int> next_table;
-    for (int t = 0; t < m; ++t) next_table.push_back(t);
-    std::atomic<size_t> cursor{0};
-    for (int w = 0; w < num_threads; ++w) {
-      threads.emplace_back([&]() {
-        for (;;) {
-          size_t i = cursor.fetch_add(1);
-          if (i >= next_table.size()) return;
-          int t = next_table[i];
-          results[static_cast<size_t>(t)] =
-              FilterTable(*pq, info->unary_preds(t), t);
-        }
-      });
-    }
-    for (auto& th : threads) th.join();
+    ParallelFor(static_cast<size_t>(m), opts.num_threads, [&](size_t i) {
+      int t = static_cast<int>(i);
+      results[i] = FilterTable(data->tables, pool, info->unary_preds(t), t);
+    });
     // Parallel cost counts the slowest thread... we charge the max table
     // cost (wall-clock model), matching how the paper reports speedups.
     uint64_t max_cost = 0;
     for (int t = 0; t < m; ++t) {
-      pq->filtered_[static_cast<size_t>(t)] =
+      data->filtered[static_cast<size_t>(t)] =
           std::move(results[static_cast<size_t>(t)].first);
       max_cost = std::max(max_cost, results[static_cast<size_t>(t)].second);
     }
-    pq->preprocess_cost_ += max_cost;
+    data->preprocess_cost += max_cost;
   } else {
     for (int t = 0; t < m; ++t) {
-      auto [rows, cost] = FilterTable(*pq, info->unary_preds(t), t);
-      pq->filtered_[static_cast<size_t>(t)] = std::move(rows);
-      pq->preprocess_cost_ += cost;
+      auto [rows, cost] =
+          FilterTable(data->tables, pool, info->unary_preds(t), t);
+      data->filtered[static_cast<size_t>(t)] = std::move(rows);
+      data->preprocess_cost += cost;
     }
   }
   for (int t = 0; t < m; ++t) {
-    if (pq->filtered_[static_cast<size_t>(t)].empty()) pq->trivially_empty_ = true;
+    if (data->filtered[static_cast<size_t>(t)].empty()) {
+      data->trivially_empty = true;
+    }
   }
 
   // Hash indexes on both sides of every equality join predicate, over the
   // filtered positions only ("only tuples satisfying all unary predicates
   // are hashed").
-  if (opts.build_hash_indexes && !pq->trivially_empty_) {
+  if (opts.build_hash_indexes && !data->trivially_empty) {
     for (const EquiJoinPred& ep : info->equi_preds()) {
       const std::pair<int, int> sides[2] = {{ep.left_table, ep.left_col},
                                             {ep.right_table, ep.right_col}};
       for (const auto& [t, col] : sides) {
         uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) |
                        static_cast<uint32_t>(col);
-        if (pq->indexes_.count(key) != 0) continue;
+        if (data->indexes.count(key) != 0) continue;
         auto index = std::make_unique<HashIndex>();
-        const Column& c = pq->table(t)->column(col);
-        const auto& rows = pq->filtered_[static_cast<size_t>(t)];
+        const Column& c = data->tables[static_cast<size_t>(t)]->column(col);
+        const auto& rows = data->filtered[static_cast<size_t>(t)];
         for (size_t p = 0; p < rows.size(); ++p) {
           if (c.IsNull(rows[p])) continue;  // NULL never equi-joins
           index->Add(JoinKeyOf(c, rows[p]), static_cast<int32_t>(p));
-          ++pq->preprocess_cost_;
+          ++data->preprocess_cost;
         }
         index->Build();
-        pq->indexes_.emplace(key, std::move(index));
+        data->indexes.emplace(key, std::move(index));
       }
     }
   }
-  clock->Tick(pq->preprocess_cost_);
-  return pq;
+  clock->Tick(data->preprocess_cost);
+  return Rebind(query, info, pool, clock, std::move(data));
 }
 
 }  // namespace skinner

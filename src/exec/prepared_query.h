@@ -69,7 +69,10 @@ class HashIndex {
   }
 
   size_t num_keys() const { return num_keys_; }
-  /// Exact heap footprint of the frozen index.
+  /// Exact heap footprint. Before Build() this is dominated by the staging
+  /// vector; Build() releases the staging allocation (swap idiom — a plain
+  /// shrink_to_fit is a non-binding request), so the frozen index accounts
+  /// for exactly the probe table plus the postings arena.
   size_t bytes() const {
     return arena_.capacity() * sizeof(int32_t) +
            slots_.capacity() * sizeof(Slot) +
@@ -123,44 +126,83 @@ struct PrepareOptions {
 /// rows surviving the unary predicates, plus hash indexes on equi-join
 /// columns over those survivors. All engines execute in "position space":
 /// position p of table t refers to base row filtered_rows(t)[p].
+///
+/// A PreparedQuery is split along the execution/artifact boundary:
+///  - PreparedQuery::Data is the immutable pre-processing *artifact*
+///    (filtered positions + frozen hash indexes). It is read-only after
+///    Prepare(), thread-shareable, and held by shared_ptr so the
+///    cross-query PreparedCache and concurrent batch items can reuse one
+///    build (paper 4.5 does this work per query; reuse makes it free on
+///    repeats).
+///  - The PreparedQuery object itself is the cheap per-*execution* view:
+///    data handle + query/info/pool pointers + this execution's virtual
+///    clock. Rebind() constructs one in O(1) from a shared Data.
 class PreparedQuery {
  public:
+  /// The immutable pre-processing artifact (see class comment).
+  struct Data {
+    std::vector<const Table*> tables;
+    std::vector<std::vector<int32_t>> filtered;
+    std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes;  // (t<<32)|col
+    bool trivially_empty = false;
+    /// Virtual cost of the build (filter scans + index inserts); charged to
+    /// the preparing execution's clock only — a cache hit pays nothing.
+    uint64_t preprocess_cost = 0;
+  };
+
+  /// Runs pre-processing (filter + index build), charges the cost to
+  /// `clock`, and returns an execution view over the freshly built Data.
   static Result<std::unique_ptr<PreparedQuery>> Prepare(
       const BoundQuery* query, const QueryInfo* info, const StringPool* pool,
       VirtualClock* clock, const PrepareOptions& opts);
+
+  /// Rebinds an existing shared artifact to a new execution (PreparedCache
+  /// hit): no filtering, no index builds, nothing charged to `clock`.
+  /// `query`/`info` must be the (equivalent) objects the artifact was built
+  /// from — the cache guarantees this by keying on the bound signature.
+  static std::unique_ptr<PreparedQuery> Rebind(
+      const BoundQuery* query, const QueryInfo* info, const StringPool* pool,
+      VirtualClock* clock, std::shared_ptr<const Data> data);
+
+  /// The shared artifact handle (for caching / cross-execution reuse).
+  const std::shared_ptr<const Data>& shared_data() const { return data_; }
 
   const BoundQuery& query() const { return *query_; }
   const QueryInfo& info() const { return *info_; }
   const StringPool& pool() const { return *pool_; }
   VirtualClock* clock() const { return clock_; }
-  int num_tables() const { return static_cast<int>(tables_.size()); }
-  const Table* table(int t) const { return tables_[static_cast<size_t>(t)]; }
-  const std::vector<const Table*>& tables() const { return tables_; }
+  int num_tables() const { return static_cast<int>(data_->tables.size()); }
+  const Table* table(int t) const {
+    return data_->tables[static_cast<size_t>(t)];
+  }
+  const std::vector<const Table*>& tables() const { return data_->tables; }
 
   /// True if a constant predicate is false or some table has no survivors:
   /// the join result is empty without running any join.
-  bool trivially_empty() const { return trivially_empty_; }
+  bool trivially_empty() const { return data_->trivially_empty; }
 
   const std::vector<int32_t>& filtered_rows(int t) const {
-    return filtered_[static_cast<size_t>(t)];
+    return data_->filtered[static_cast<size_t>(t)];
   }
   int64_t cardinality(int t) const {
-    return static_cast<int64_t>(filtered_[static_cast<size_t>(t)].size());
+    return static_cast<int64_t>(data_->filtered[static_cast<size_t>(t)].size());
   }
   int32_t base_row(int t, int64_t pos) const {
-    return filtered_[static_cast<size_t>(t)][static_cast<size_t>(pos)];
+    return data_->filtered[static_cast<size_t>(t)][static_cast<size_t>(pos)];
   }
 
   /// Index over (table, column), or nullptr if none was built.
   const HashIndex* index(int t, int col) const;
 
-  /// Virtual cost consumed by pre-processing (filter scans + index build).
-  uint64_t preprocess_cost() const { return preprocess_cost_; }
+  /// Virtual cost consumed by building the underlying artifact. This is a
+  /// property of the Data: executions served from the PreparedCache report
+  /// 0 in their ExecutionStats instead.
+  uint64_t preprocess_cost() const { return data_->preprocess_cost; }
 
   /// Evaluation context bound to `rows` (one base row id per table).
   EvalContext MakeEvalContext(const int64_t* rows) const {
     EvalContext ctx;
-    ctx.tables = &tables_;
+    ctx.tables = &data_->tables;
     ctx.pool = pool_;
     ctx.rows = rows;
     ctx.clock = clock_;
@@ -174,11 +216,7 @@ class PreparedQuery {
   const QueryInfo* info_ = nullptr;
   const StringPool* pool_ = nullptr;
   VirtualClock* clock_ = nullptr;
-  std::vector<const Table*> tables_;
-  std::vector<std::vector<int32_t>> filtered_;
-  std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes_;  // (t<<32)|col
-  bool trivially_empty_ = false;
-  uint64_t preprocess_cost_ = 0;
+  std::shared_ptr<const Data> data_;
 };
 
 }  // namespace skinner

@@ -23,7 +23,13 @@ SkinnerCEngine::SkinnerCEngine(const PreparedQuery* pq,
     : pq_(pq),
       opts_(opts),
       uct_(&pq->info(), MakeUctOptions(opts)),
-      result_(pq->num_tables(), opts.num_threads > 1 ? kParallelShards : 1) {}
+      result_(pq->num_tables(), opts.num_threads > 1 ? kParallelShards : 1) {
+  if (opts_.warm_start_order.size() ==
+      static_cast<size_t>(pq->num_tables())) {
+    uct_.SeedPriors(opts_.warm_start_order, opts_.warm_start_visits,
+                    opts_.warm_start_reward);
+  }
+}
 
 SkinnerCEngine::~SkinnerCEngine() { StopThreads(); }
 

@@ -72,6 +72,19 @@ struct SkinnerCOptions {
   /// ...but never into chunks smaller than this many positions, so claim
   /// and publication overhead stays negligible per chunk.
   int64_t min_chunk_rows = 16;
+  /// Warm start (PreparedCache): seed the UCT tree's priors along this
+  /// join order — typically the final order the signature's last execution
+  /// converged to — before the first slice. The hinted path starts as the
+  /// exploit choice; a few unrewarded slices un-seat a stale hint (see
+  /// JoinOrderUct::SeedPriors). Empty = cold start. Learning remains
+  /// per-execution, consistent with the paper.
+  std::vector<int> warm_start_order;
+  /// Prior strength: the hint behaves like warm_start_visits slices of
+  /// reward warm_start_reward already run. The reward is deliberately tiny
+  /// (the scale of real per-slice progress rewards) so genuine rewards
+  /// dominate quickly.
+  int64_t warm_start_visits = 2;
+  double warm_start_reward = 1e-3;
 };
 
 struct SkinnerCStats {

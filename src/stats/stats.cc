@@ -47,6 +47,7 @@ TableStats ComputeTableStats(const Table& table) {
 }
 
 const TableStats& StatsManager::Get(const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(table);
   if (it != cache_.end() && it->second.row_count == table->num_rows()) {
     return it->second.stats;

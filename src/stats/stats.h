@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct TableStats {
 TableStats ComputeTableStats(const Table& table);
 
 /// Cache of per-table statistics, invalidated when the row count changes.
+/// Thread-safe: concurrent batch-execution items plan with estimators over
+/// one shared manager. The returned reference stays valid while no DML
+/// changes the table's row count (map references survive rehashing; an
+/// entry is only replaced when the count moved, and DML concurrent with
+/// query execution is outside the API contract anyway).
 class StatsManager {
  public:
   const TableStats& Get(const Table* table);
@@ -40,6 +46,7 @@ class StatsManager {
     int64_t row_count;
     TableStats stats;
   };
+  std::mutex mu_;
   std::unordered_map<const Table*, Entry> cache_;
 };
 

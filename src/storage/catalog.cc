@@ -12,6 +12,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists("table already exists: " + name);
   }
   auto table = std::make_unique<Table>(name, std::move(schema), &pool_);
+  table->set_id(++next_table_id_);
   Table* ptr = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return ptr;

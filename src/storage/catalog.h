@@ -37,6 +37,9 @@ class Catalog {
  private:
   StringPool pool_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;  // lowercase key
+  /// Source of unique table ids; never reused, so a DROP + CREATE under the
+  /// same name yields a distinct identity stamp (see Table::id()).
+  uint64_t next_table_id_ = 0;
 };
 
 }  // namespace skinner

@@ -23,6 +23,7 @@ Status Table::AppendRow(const std::vector<Value>& values) {
         values[static_cast<size_t>(i)], pool_));
   }
   ++num_rows_;
+  ++data_version_;
   return Status::OK();
 }
 

@@ -27,12 +27,27 @@ class Table {
   const Column& column(int i) const { return *cols_[static_cast<size_t>(i)]; }
   Column* mutable_column(int i) { return cols_[static_cast<size_t>(i)].get(); }
 
+  /// Identity stamp assigned by the catalog at creation, unique across the
+  /// database's lifetime: a table re-created under the same name gets a new
+  /// id, so cached per-table state (PreparedCache entries foremost) can
+  /// never be confused between the two.
+  uint64_t id() const { return id_; }
+  void set_id(uint64_t id) { id_ = id; }
+
+  /// Monotonic data-version counter, bumped once per appended row. Cached
+  /// derived state (filtered positions, hash indexes) keyed on (id,
+  /// data_version) is invalidated by any DML on the table.
+  uint64_t data_version() const { return data_version_; }
+
   /// Appends one row; values.size() must equal the column count.
   Status AppendRow(const std::vector<Value>& values);
 
   /// Fast typed appends for generators (one call per column, then
   /// CommitRow). The caller must append to every column exactly once.
-  void CommitRow() { ++num_rows_; }
+  void CommitRow() {
+    ++num_rows_;
+    ++data_version_;
+  }
 
   /// Materializes one row (for result output / debugging).
   std::vector<Value> GetRow(int64_t row) const;
@@ -43,6 +58,8 @@ class Table {
   StringPool* pool_;
   std::vector<std::unique_ptr<Column>> cols_;
   int64_t num_rows_ = 0;
+  uint64_t id_ = 0;
+  uint64_t data_version_ = 0;
 };
 
 }  // namespace skinner

@@ -122,6 +122,37 @@ void JoinOrderUct::RewardUpdate(const std::vector<int>& order, double reward) {
   }
 }
 
+void JoinOrderUct::SeedPriors(const std::vector<int>& order, int64_t visits,
+                              double reward) {
+  if (opts_.policy == SelectionPolicy::kRandom || visits <= 0) return;
+  Node* node = root_.get();
+  TableSet chosen = 0;
+  for (size_t d = 0; d < order.size(); ++d) {
+    const int t = order[d];
+    size_t a = 0;
+    bool found = false;
+    for (; a < node->actions.size(); ++a) {
+      if (node->actions[a] == t) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;  // hint from an incompatible query shape: stop
+    for (size_t s = 0; s < node->actions.size(); ++s) {
+      if (node->action_visits[s] != 0) continue;  // keep real statistics
+      const bool hinted = s == a;
+      node->action_visits[s] = hinted ? visits : 1;
+      node->action_reward[s] = hinted ? reward * static_cast<double>(visits) : 0;
+      node->visits += node->action_visits[s];
+      node->reward_sum += node->action_reward[s];
+    }
+    chosen |= TableBit(t);
+    if (d + 1 >= order.size()) break;
+    if (node->children[a] == nullptr) node->children[a].reset(MakeNode(chosen));
+    node = node->children[a].get();
+  }
+}
+
 std::vector<int> JoinOrderUct::BestOrder() const {
   const int m = info_->num_tables();
   std::vector<int> order;

@@ -48,6 +48,18 @@ class JoinOrderUct {
   /// (RewardUpdate in the paper).
   void RewardUpdate(const std::vector<int>& order, double reward);
 
+  /// Warm start (PreparedCache): seeds the tree's priors as if `order` had
+  /// already run `visits` slices of reward `reward` each, materializing
+  /// the path. At every node along it the hinted action starts as the
+  /// exploit choice while each sibling starts merely "tried" (one visit,
+  /// zero reward) — without that, Choose()'s untried-actions-first rule
+  /// would explore every sibling before honoring the hint. Real rewards
+  /// quickly dominate the tiny prior, so a stale hint only costs a few
+  /// slices; learning stays per-execution as in the paper. Stops silently
+  /// at the first inconsistent position of `order`. No-op for kRandom.
+  void SeedPriors(const std::vector<int>& order, int64_t visits,
+                  double reward);
+
   /// Current number of materialized tree nodes (paper Figure 7a/8a).
   size_t num_nodes() const { return num_nodes_; }
 

@@ -1,0 +1,234 @@
+#include "exec/prepared_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "test_util.h"
+
+namespace skinner {
+namespace {
+
+class PreparedCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (k INT, v INT)").ok());
+    ASSERT_TRUE(db_.Execute("CREATE TABLE u (k INT, w INT)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 10), (1, 11), (2, 20), "
+                            "(3, 30)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO u VALUES (1, 100), (2, 200), "
+                            "(2, 201), (9, 900)")
+                    .ok());
+  }
+
+  std::string Signature(const std::string& sql) {
+    auto bound = db_.Bind(sql);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return ComputeQuerySignature(*bound.value());
+  }
+
+  Database db_;
+};
+
+TEST_F(PreparedCacheTest, TemplateIdenticalQueriesShareASignature) {
+  // Same normalized bound structure: keyword case and whitespace differ.
+  EXPECT_EQ(Signature("SELECT COUNT(*) FROM t, u WHERE t.k = u.k"),
+            Signature("select   COUNT( * )  from T, U where t.K = u.K"));
+  // Different literal, different select list, different table set: all
+  // distinct templates.
+  std::string base = Signature("SELECT COUNT(*) FROM t WHERE t.v > 10");
+  EXPECT_NE(base, Signature("SELECT COUNT(*) FROM t WHERE t.v > 11"));
+  EXPECT_NE(base, Signature("SELECT t.k FROM t WHERE t.v > 10"));
+  EXPECT_NE(Signature("SELECT COUNT(*) FROM t"),
+            Signature("SELECT COUNT(*) FROM u"));
+  // String literals are length-prefixed: no framing ambiguity.
+  EXPECT_NE(Signature("SELECT COUNT(*) FROM t WHERE t.k = 1 AND 'ab' = 'ab'"),
+            Signature("SELECT COUNT(*) FROM t WHERE t.k = 1 AND 'a' = 'b'"));
+}
+
+TEST_F(PreparedCacheTest, RepeatedQueryServedFromCacheBitIdentical) {
+  const char* sql =
+      "SELECT t.k, t.v, u.w FROM t, u WHERE t.k = u.k ORDER BY t.v, u.w";
+  ExecOptions opts;
+  opts.use_prepared_cache = true;
+
+  auto cold = db_.Query(sql, opts);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().stats.prepared_from_cache);
+  EXPECT_GT(cold.value().stats.preprocess_cost, 0u);
+
+  auto warm = db_.Query(sql, opts);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm.value().stats.prepared_from_cache);
+  EXPECT_EQ(warm.value().stats.preprocess_cost, 0u);
+  // The warm total excludes the (skipped) pre-processing entirely.
+  EXPECT_LT(warm.value().stats.total_cost, cold.value().stats.total_cost);
+
+  EXPECT_EQ(testing::CanonicalRows(cold.value().result),
+            testing::CanonicalRows(warm.value().result));
+  EXPECT_EQ(cold.value().stats.join_result_tuples,
+            warm.value().stats.join_result_tuples);
+
+  PreparedCache::Stats s = db_.prepared_cache()->stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST_F(PreparedCacheTest, CachingOffByDefault) {
+  const char* sql = "SELECT COUNT(*) FROM t, u WHERE t.k = u.k";
+  for (int i = 0; i < 2; ++i) {
+    auto out = db_.Query(sql);
+    ASSERT_TRUE(out.ok());
+    EXPECT_FALSE(out.value().stats.prepared_from_cache);
+    EXPECT_GT(out.value().stats.preprocess_cost, 0u);
+  }
+  EXPECT_EQ(db_.prepared_cache()->stats().entries, 0u);
+}
+
+TEST_F(PreparedCacheTest, InsertInvalidatesAndReturnsNewRows) {
+  const char* sql = "SELECT COUNT(*) FROM t, u WHERE t.k = u.k";
+  ExecOptions opts;
+  opts.use_prepared_cache = true;
+
+  auto before = db_.Query(sql, opts);
+  ASSERT_TRUE(before.ok());
+  // t.k=1 x2 * u.k=1 + t.k=2 * u.k=2 x2 = 2 + 2 = 4.
+  EXPECT_EQ(before.value().result.rows[0][0].AsInt(), 4);
+  ASSERT_TRUE(db_.Query(sql, opts).ok());  // warm the entry
+
+  ASSERT_TRUE(db_.Execute("INSERT INTO u VALUES (3, 300)").ok());
+  auto after = db_.Query(sql, opts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().stats.prepared_from_cache);
+  EXPECT_GT(after.value().stats.preprocess_cost, 0u);
+  EXPECT_EQ(after.value().result.rows[0][0].AsInt(), 5);  // t.k=3 joins now
+
+  PreparedCache::Stats s = db_.prepared_cache()->stats();
+  EXPECT_EQ(s.invalidations, 1u);
+
+  // And the re-prepared artifact is cached again.
+  auto warm = db_.Query(sql, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().stats.prepared_from_cache);
+  EXPECT_EQ(warm.value().result.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(PreparedCacheTest, DropAndRecreateNeverHitsTheStaleEntry) {
+  const char* sql = "SELECT COUNT(*) FROM t WHERE t.v >= 20";
+  ExecOptions opts;
+  opts.use_prepared_cache = true;
+  auto before = db_.Query(sql, opts);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().result.rows[0][0].AsInt(), 2);
+
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (k INT, v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (7, 70)").ok());
+
+  // Same name, same row-pattern query — but a different table identity:
+  // the stale artifact (whose filtered positions point into the dropped
+  // table) must not serve this.
+  auto after = db_.Query(sql, opts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().stats.prepared_from_cache);
+  EXPECT_EQ(after.value().result.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(PreparedCacheTest, PrepareVariantIsPartOfTheEntryKey) {
+  // An artifact built without hash indexes must not serve a query that
+  // wants them (engines would silently degrade to full scans) — the two
+  // variants cache as distinct entries.
+  const char* sql = "SELECT COUNT(*) FROM t, u WHERE t.k = u.k";
+  ExecOptions no_idx;
+  no_idx.use_prepared_cache = true;
+  no_idx.build_hash_indexes = false;
+  ExecOptions with_idx;
+  with_idx.use_prepared_cache = true;
+
+  auto a = db_.Query(sql, no_idx);
+  ASSERT_TRUE(a.ok());
+  auto b = db_.Query(sql, with_idx);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value().stats.prepared_from_cache);  // distinct variant
+  auto c = db_.Query(sql, with_idx);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value().stats.prepared_from_cache);
+  auto d = db_.Query(sql, no_idx);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().stats.prepared_from_cache);
+  EXPECT_EQ(db_.prepared_cache()->stats().entries, 2u);
+  EXPECT_EQ(a.value().result.rows[0][0].AsInt(),
+            c.value().result.rows[0][0].AsInt());
+}
+
+TEST_F(PreparedCacheTest, TriviallyEmptyArtifactsAreCacheableToo) {
+  const char* sql = "SELECT COUNT(*) FROM t, u WHERE t.k = u.k AND 1 = 2";
+  ExecOptions opts;
+  opts.use_prepared_cache = true;
+  auto cold = db_.Query(sql, opts);
+  ASSERT_TRUE(cold.ok());
+  auto warm = db_.Query(sql, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().stats.prepared_from_cache);
+  EXPECT_EQ(warm.value().result.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(PreparedCacheTest, LruEvictionAndStats) {
+  PreparedCache cache(/*capacity=*/2);
+  auto bundle = [] { return std::make_shared<PreparedBundle>(); };
+  std::vector<TableStamp> stamps{{1, 1}};
+
+  cache.Insert("a", stamps, bundle());
+  cache.Insert("b", stamps, bundle());
+  EXPECT_NE(cache.Lookup("a", stamps), nullptr);  // a is now most recent
+  cache.Insert("c", stamps, bundle());            // evicts b (LRU)
+  EXPECT_NE(cache.Lookup("a", stamps), nullptr);
+  EXPECT_EQ(cache.Lookup("b", stamps), nullptr);
+  EXPECT_NE(cache.Lookup("c", stamps), nullptr);
+
+  // Stale stamps evict and count as invalidation.
+  std::vector<TableStamp> newer{{1, 2}};
+  EXPECT_EQ(cache.Lookup("a", newer), nullptr);
+  EXPECT_EQ(cache.Lookup("a", stamps), nullptr);  // gone
+
+  PreparedCache::Stats s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.entries, 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST_F(PreparedCacheTest, WarmOrderSurvivesInvalidation) {
+  PreparedCache cache(2);
+  EXPECT_TRUE(cache.WarmOrder("q").empty());
+  cache.RecordFinalOrder("q", {2, 0, 1});
+  EXPECT_EQ(cache.WarmOrder("q"), (std::vector<int>{2, 0, 1}));
+  cache.RecordFinalOrder("q", {1, 0, 2});  // last order wins
+  EXPECT_EQ(cache.WarmOrder("q"), (std::vector<int>{1, 0, 2}));
+  cache.Clear();
+  EXPECT_TRUE(cache.WarmOrder("q").empty());
+}
+
+TEST_F(PreparedCacheTest, WarmStartedRunStaysCorrect) {
+  // Three-way join, run repeatedly with the cache: later runs seed their
+  // UCT priors from the recorded final order and must stay exact.
+  const char* sql =
+      "SELECT COUNT(*) FROM t t1, t t2, u WHERE t1.k = t2.k AND t2.k = u.k";
+  ExecOptions opts;
+  opts.use_prepared_cache = true;
+  int64_t expect = -1;
+  for (int run = 0; run < 3; ++run) {
+    auto out = db_.Query(sql, opts);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    int64_t got = out.value().result.rows[0][0].AsInt();
+    if (expect < 0) expect = got;
+    EXPECT_EQ(got, expect) << "run " << run;
+  }
+  EXPECT_GT(expect, 0);
+}
+
+}  // namespace
+}  // namespace skinner

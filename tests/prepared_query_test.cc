@@ -139,6 +139,35 @@ TEST_F(PreparedQueryTest, PreprocessCostCharged) {
   EXPECT_GE(clock_.now(), before + p.pq->preprocess_cost());
 }
 
+TEST(HashIndexBytesTest, BuildReleasesTheStagingVectorExactly) {
+  // bytes() promises the *exact* heap footprint. Build() clears the
+  // staging vector, but a clear keeps its capacity alive — only the swap
+  // release guarantees the frozen index stops being charged for scratch.
+  constexpr size_t kPairs = 1000;
+  constexpr size_t kStagedPairBytes = sizeof(std::pair<uint64_t, int32_t>);
+  HashIndex idx;
+  for (size_t i = 0; i < kPairs; ++i) {
+    idx.Add(/*key=*/i % 100, /*pos=*/static_cast<int32_t>(i));
+  }
+  EXPECT_GE(idx.bytes(), kPairs * kStagedPairBytes);  // staging dominates
+
+  idx.Build();
+  // Frozen layout: a power-of-two slot table at <= 50% load over the
+  // staged pair count, plus one arena int per staged pair — and zero
+  // staging bytes. Slot = {uint64 key, uint32 offset, uint32 len}.
+  size_t cap = 16;
+  while (cap < kPairs * 2) cap <<= 1;
+  constexpr size_t kSlotBytes = sizeof(uint64_t) + 2 * sizeof(uint32_t);
+  EXPECT_EQ(idx.bytes(), cap * kSlotBytes + kPairs * sizeof(int32_t));
+  EXPECT_EQ(idx.num_keys(), 100u);
+}
+
+TEST(HashIndexBytesTest, EmptyBuildHoldsNoHeap) {
+  HashIndex idx;
+  idx.Build();
+  EXPECT_EQ(idx.bytes(), 0u);
+}
+
 TEST_F(PreparedQueryTest, JoinKeyOfNormalizesTypes) {
   const Table* a = catalog_.FindTable("a");
   // Int column keys equal their double-bit representation.
