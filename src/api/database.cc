@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "api/query_pipeline.h"
+#include "api/session.h"
 #include "common/clock.h"
 #include "common/hash_util.h"
 #include "common/parallel.h"
@@ -27,7 +28,15 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
-Database::Database() = default;
+Database::Database()
+    : default_session_(new Session(this, /*id=*/0, ExecOptions{})) {}
+
+Database::~Database() = default;
+
+std::unique_ptr<Session> Database::CreateSession(const ExecOptions& defaults) {
+  return std::unique_ptr<Session>(
+      new Session(this, next_session_id_.fetch_add(1), defaults));
+}
 
 Status Database::Execute(const std::string& sql) {
   SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
@@ -55,6 +64,12 @@ Status Database::Execute(const std::string& sql) {
           if (e->kind == ExprKind::kColumnRef || !tables.empty()) {
             return Status::InvalidArgument("INSERT values must be literals");
           }
+          std::set<int> params;
+          e->CollectParams(&params);
+          if (!params.empty()) {
+            return Status::InvalidArgument(
+                "INSERT values cannot contain ? parameters");
+          }
           row.push_back(EvalExpr(*e, ctx));
         }
         SKINNER_RETURN_IF_ERROR(table->AppendRow(row));
@@ -76,8 +91,7 @@ Result<std::unique_ptr<BoundQuery>> Database::Bind(const std::string& sql) {
 
 Result<QueryOutput> Database::Query(const std::string& sql,
                                     const ExecOptions& opts) {
-  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
-  return pipeline.Run(sql, opts);
+  return default_session_->Query(sql, opts);
 }
 
 Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
@@ -96,11 +110,18 @@ Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
 }
 
 std::vector<Result<QueryOutput>> Database::QueryBatch(
+    const std::vector<BatchItem>& items, const BatchOptions& opts) {
+  return default_session_->QueryBatch(items, opts);
+}
+
+std::vector<Result<QueryOutput>> Database::QueryBatchInternal(
     const std::vector<BatchItem>& items, const BatchOptions& bopts) {
   const size_t n = items.size();
   // Prepared-state sharing scope: the database's cross-query cache, or a
-  // cache that lives exactly as long as this batch.
-  PreparedCache local_cache(std::max<size_t>(n, 1));
+  // cache that lives exactly as long as this batch. (Capacity never gates
+  // within-batch sharing either way: template-group members bind to the
+  // owner's handle directly in stage C.)
+  PreparedCache local_cache;
   PreparedCache* cache = bopts.use_prepared_cache ? &cache_ : &local_cache;
   QueryPipeline pipeline(&catalog_, &udfs_, &stats_, cache);
 

@@ -1,6 +1,7 @@
 #ifndef SKINNER_API_DATABASE_H_
 #define SKINNER_API_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -86,8 +87,19 @@ struct ExecutionStats {
   double wall_ms = 0;
   uint64_t total_cost = 0;       // virtual units: preprocessing + join
   uint64_t preprocess_cost = 0;  // 0 when served from the PreparedCache
-  /// True when pre-processing was served from the PreparedCache.
+  /// True when pre-processing was served entirely from the PreparedCache
+  /// (whole-bundle hit, or a PreparedStatement execution where every
+  /// table's artifact was cached).
   bool prepared_from_cache = false;
+  /// True when a warm-start join order keyed by this query's (parameter-
+  /// abstracted) template signature was found in the cache — i.e. this is
+  /// execution >= 2 of the template and UCT was (or could be) seeded.
+  bool template_signature_hit = false;
+  /// Per-table artifact provenance (PreparedStatement path; the Query()
+  /// bundle path reports all-or-nothing): how many FROM tables reused a
+  /// cached artifact vs were re-prepared for this execution.
+  int tables_prepared_from_cache = 0;
+  int tables_reprepared = 0;
   uint64_t join_result_tuples = 0;
   /// Accumulated intermediate result cardinality actually produced (the
   /// engine-independent optimizer-quality metric of paper Tables 1/2).
@@ -139,13 +151,24 @@ struct BatchOptions {
   uint64_t seed = 42;
 };
 
+class Session;
+
 /// The SkinnerDB database facade: owns catalog, string pool, UDF registry,
 /// statistics and the cross-query PreparedCache; parses SQL; routes
 /// SELECTs through the staged query pipeline (api/query_pipeline.h):
 /// parse -> bind -> prepare -> execute -> post-process.
+///
+/// Client-facing work goes through Session handles (api/session.h):
+/// CreateSession() returns a per-client handle with its own default
+/// ExecOptions, seed derivation and stats roll-up, plus
+/// Session::Prepare() for `?`-parameterized statements. Query()/
+/// QueryBatch() below remain as thin wrappers over a built-in default
+/// session (id 0, which leaves seeds untouched), so existing callers are
+/// unchanged.
 class Database {
  public:
   Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -154,8 +177,18 @@ class Database {
   StatsManager* stats_manager() { return &stats_; }
   /// The cross-query cache of pre-processing artifacts (hit/miss stats,
   /// manual Clear()); populated by Query()/QueryBatch() when
-  /// ExecOptions::use_prepared_cache / BatchOptions ask for it.
+  /// ExecOptions::use_prepared_cache / BatchOptions ask for it, and always
+  /// by PreparedStatement executions (per-table artifacts).
   PreparedCache* prepared_cache() { return &cache_; }
+
+  /// Creates a per-client session handle (unique id >= 1; folded into
+  /// seed derivation so concurrent clients with identical options explore
+  /// independently). The handle must not outlive the database.
+  std::unique_ptr<Session> CreateSession(const ExecOptions& defaults = {});
+
+  /// The built-in session (id 0: seeds pass through unchanged) that
+  /// Query()/QueryBatch() run on.
+  Session* default_session() { return default_session_.get(); }
 
   /// Executes a DDL/DML statement (CREATE TABLE / INSERT / DROP TABLE).
   Status Execute(const std::string& sql);
@@ -188,10 +221,18 @@ class Database {
   Result<PlanResult> OptimizerOrder(const BoundQuery& query);
 
  private:
+  friend class Session;
+
+  /// The batch engine Session::QueryBatch runs on (seed already derived).
+  std::vector<Result<QueryOutput>> QueryBatchInternal(
+      const std::vector<BatchItem>& items, const BatchOptions& opts);
+
   Catalog catalog_;
   UdfRegistry udfs_;
   StatsManager stats_;
   PreparedCache cache_;
+  std::atomic<uint64_t> next_session_id_{1};
+  std::unique_ptr<Session> default_session_;  // constructed in database.cc
 };
 
 }  // namespace skinner

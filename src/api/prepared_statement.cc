@@ -1,0 +1,315 @@
+#include "api/prepared_statement.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "api/query_pipeline.h"
+#include "common/hash_util.h"
+#include "common/parallel.h"
+#include "common/str_util.h"
+
+namespace skinner {
+
+namespace {
+
+/// Replaces every `?` below `e` with its bound value as a literal — the
+/// exact tree the binder would have produced for the literal-substituted
+/// SQL text (string values are interned like bound string literals).
+void SubstituteParams(Expr* e, const std::vector<Value>& params,
+                      StringPool* pool) {
+  for (auto& c : e->children) SubstituteParams(c.get(), params, pool);
+  if (e->kind != ExprKind::kParam) return;
+  const Value& v = params[static_cast<size_t>(e->param_idx)];
+  e->kind = ExprKind::kLiteral;
+  e->literal = v;
+  e->param_idx = -1;
+  if (!v.is_null()) {
+    e->out_type = v.type();
+    if (v.type() == DataType::kString) {
+      e->literal_pool_id = pool->Intern(v.AsString());
+    }
+  }
+}
+
+}  // namespace
+
+PreparedStatement::PreparedStatement(Session* session, std::string sql,
+                                     std::unique_ptr<BoundQuery> template_query)
+    : session_(session),
+      db_(session->database()),
+      sql_(std::move(sql)),
+      template_(std::move(template_query)) {}
+
+PreparedStatement::~PreparedStatement() = default;
+
+int PreparedStatement::num_params() const { return template_->num_params; }
+
+DataType PreparedStatement::param_type(int i) const {
+  return template_->param_types[static_cast<size_t>(i)];
+}
+
+bool PreparedStatement::param_type_known(int i) const {
+  return template_->param_known[static_cast<size_t>(i)];
+}
+
+Status PreparedStatement::Init() {
+  template_sig_ = ComputeQuerySignature(*template_);
+
+  // Which parameters key which table's artifact: exactly the ordinals
+  // appearing in that table's unary predicates. Parameters elsewhere
+  // (constant predicates, join predicates, SELECT/GROUP BY/ORDER BY) are
+  // evaluated per execution and never invalidate a table artifact.
+  SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(*template_));
+  const int m = template_->num_tables();
+  table_params_.resize(static_cast<size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    std::set<int> ids;
+    for (const Expr* p : info.unary_preds(t)) p->CollectParams(&ids);
+    table_params_[static_cast<size_t>(t)].assign(ids.begin(), ids.end());
+  }
+  for (const BoundTable& bt : template_->tables) {
+    table_names_.push_back(bt.table->name());
+    table_ptrs_.push_back(bt.table);
+    table_ids_.push_back(bt.table->id());
+  }
+  return Status::OK();
+}
+
+Status PreparedStatement::CheckParams(const std::vector<Value>& params) const {
+  if (static_cast<int>(params.size()) != template_->num_params) {
+    return Status::InvalidArgument(StrFormat(
+        "statement expects %d parameters, got %zu", template_->num_params,
+        params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Value& v = params[i];
+    if (v.is_null() || !template_->param_known[i]) continue;  // NULL binds anywhere
+    const bool want_str = template_->param_types[i] == DataType::kString;
+    const bool got_str = v.type() == DataType::kString;
+    if (want_str != got_str) {
+      return Status::TypeError(StrFormat(
+          "parameter %zu expects %s, got %s", i,
+          DataTypeName(template_->param_types[i]), DataTypeName(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+Status PreparedStatement::CheckFreshness() const {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    const Table* now = db_->catalog()->FindTable(table_names_[i]);
+    if (now != table_ptrs_[i] || now->id() != table_ids_[i]) {
+      return Status::InvalidArgument(
+          "prepared statement is stale: table " + table_names_[i] +
+          " was dropped or re-created since Prepare(); prepare it again");
+    }
+  }
+  return Status::OK();
+}
+
+Result<PreparedStage> PreparedStatement::PrepareStage(
+    const std::vector<Value>& params, const ExecOptions& opts) const {
+  SKINNER_RETURN_IF_ERROR(CheckParams(params));
+  SKINNER_RETURN_IF_ERROR(CheckFreshness());
+
+  // Instantiate: clone the template, splice the values in as literals and
+  // re-run the binder's type pass so a type-invalid combination errors
+  // exactly like the literal SQL text would.
+  std::unique_ptr<BoundQuery> query = template_->Clone();
+  StringPool* pool = db_->catalog()->string_pool();
+  if (query->where != nullptr) SubstituteParams(query->where.get(), params, pool);
+  for (auto& s : query->select) SubstituteParams(s.expr.get(), params, pool);
+  for (auto& g : query->group_by) SubstituteParams(g.get(), params, pool);
+  for (auto& o : query->order_by) SubstituteParams(o.expr.get(), params, pool);
+  query->num_params = 0;
+  query->param_types.clear();
+  query->param_known.clear();
+  if (query->where != nullptr) {
+    SKINNER_RETURN_IF_ERROR(RebindTypes(query->where.get()));
+  }
+  for (auto& s : query->select) SKINNER_RETURN_IF_ERROR(RebindTypes(s.expr.get()));
+  for (auto& g : query->group_by) SKINNER_RETURN_IF_ERROR(RebindTypes(g.get()));
+  for (auto& o : query->order_by) SKINNER_RETURN_IF_ERROR(RebindTypes(o.expr.get()));
+
+  auto bundle = std::make_shared<PreparedBundle>();
+  bundle->bound = std::move(query);
+  SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(*bundle->bound));
+  bundle->info = std::make_unique<QueryInfo>(std::move(info));
+
+  // Per-table artifacts through the cache: each table's key folds in only
+  // the values of the parameters reaching ITS unary filters, so a table
+  // whose filters mention no `?` hits the same artifact for every
+  // parameter set. Builder claims are resolved (built + published) one
+  // table at a time — never holding one claim while waiting on another —
+  // which keeps concurrent executions deadlock-free by construction.
+  PreparedCache* cache = db_->prepared_cache();
+  const int m = bundle->bound->num_tables();
+  const std::vector<const Table*> table_ptrs = bundle->bound->TablePtrs();
+  std::vector<std::shared_ptr<const TableArtifact>> reuse(
+      static_cast<size_t>(m));
+  PreparedStage stage;
+  stage.clock = std::make_unique<VirtualClock>();
+  uint64_t built_cost = 0;
+  // A false constant predicate (possibly through a bound value: `? = 1`)
+  // makes the whole query trivially empty; skip artifact building and let
+  // PreparedQuery::Prepare take its data-free early exit — like Query()
+  // on the literal text, which never scans a table for it either. The
+  // probe's cost is not charged; Prepare re-evaluates and charges it.
+  bool constant_empty = false;
+  {
+    VirtualClock probe_clock;
+    std::vector<int64_t> binding(static_cast<size_t>(m), 0);
+    EvalContext ctx;
+    ctx.tables = &table_ptrs;
+    ctx.pool = pool;
+    ctx.rows = binding.data();
+    ctx.clock = &probe_clock;
+    for (const PredInfo& p : bundle->info->constant_preds()) {
+      if (!EvalPredicate(*p.expr, ctx)) {
+        constant_empty = true;
+        break;
+      }
+    }
+  }
+  for (int t = 0; t < m && !constant_empty; ++t) {
+    const Table* table = bundle->bound->tables[static_cast<size_t>(t)].table;
+    std::string values;
+    for (int idx : table_params_[static_cast<size_t>(t)]) {
+      AppendValueSignature(params[static_cast<size_t>(idx)], &values);
+      values.push_back(';');
+    }
+    const std::string key = TableArtifactKey(template_sig_, t,
+                                             opts.build_hash_indexes, values);
+    const TableStamp stamp{table->id(), table->data_version()};
+    PreparedCache::TableClaim claim = cache->AcquireTable(key, stamp);
+    if (claim.artifact != nullptr) {
+      reuse[static_cast<size_t>(t)] = std::move(claim.artifact);
+      ++stage.tables_from_cache;
+      continue;
+    }
+    std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
+        table_ptrs, pool, *bundle->info, t, opts.build_hash_indexes);
+    cache->PublishTable(key, stamp, artifact);
+    built_cost += artifact->build_cost;
+    reuse[static_cast<size_t>(t)] = std::move(artifact);
+    ++stage.tables_reprepared;
+  }
+
+  PrepareOptions popts;
+  popts.build_hash_indexes = opts.build_hash_indexes;
+  popts.reuse = &reuse;
+  SKINNER_ASSIGN_OR_RETURN(
+      stage.pq, PreparedQuery::Prepare(bundle->bound.get(), bundle->info.get(),
+                                       pool, stage.clock.get(), popts));
+  bundle->data = stage.pq->shared_data();
+  stage.shared = std::move(bundle);
+  // The clock so far carries the constant-predicate evaluation only (all
+  // artifacts were passed in); charge this execution for the tables it
+  // actually built.
+  stage.clock->Tick(built_cost);
+  stage.preprocess_cost = stage.clock->now();
+  stage.cache_hit = stage.tables_from_cache == m;  // every artifact was cached
+  stage.signature = template_sig_;
+  std::vector<int> warm = cache->WarmOrder(template_sig_);
+  stage.template_hit = !warm.empty();
+  if (opts.warm_start) stage.warm_order = std::move(warm);
+  return stage;
+}
+
+Result<QueryOutput> PreparedStatement::Execute(const std::vector<Value>& params) {
+  return Execute(params, session_->defaults());
+}
+
+Result<QueryOutput> PreparedStatement::Execute(const std::vector<Value>& params,
+                                               const ExecOptions& opts) {
+  ExecOptions eopts = opts;
+  eopts.seed = session_->DeriveSeed(opts.seed);
+  // Statements always share prepared state — that is their point — and
+  // use_prepared_cache additionally lets the execute stage record the
+  // final join order under the template signature.
+  eopts.use_prepared_cache = true;
+  QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
+                         db_->prepared_cache());
+  auto run = [&]() -> Result<QueryOutput> {
+    SKINNER_ASSIGN_OR_RETURN(PreparedStage stage, PrepareStage(params, eopts));
+    SKINNER_ASSIGN_OR_RETURN(ExecutedStage exec, pipeline.Execute(stage, eopts));
+    return pipeline.PostProcess(stage, std::move(exec));
+  };
+  Result<QueryOutput> out = run();
+  session_->Roll(out);
+  return out;
+}
+
+std::vector<Result<QueryOutput>> PreparedStatement::ExecuteMany(
+    const std::vector<std::vector<Value>>& param_sets,
+    const BatchOptions& bopts, const ExecOptions& base_opts) {
+  const size_t n = param_sets.size();
+  QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
+                         db_->prepared_cache());
+
+  // The warm-start hint is snapshotted once, before anything executes, so
+  // which hint every item sees — and therefore every item's result and
+  // cost — is a pure function of the batch, independent of worker count
+  // and schedule (final orders recorded during the batch only benefit
+  // later batches).
+  const std::vector<int> warm_snapshot =
+      db_->prepared_cache()->WarmOrder(template_sig_);
+
+  std::vector<std::optional<Result<QueryOutput>>> results(n);
+  std::vector<std::optional<PreparedStage>> stages(n);
+  std::vector<ExecOptions> eopts(n);
+
+  // Stage A (sequential): bind values and build/fetch per-table artifacts.
+  // String parameters intern into the shared pool here, and artifact
+  // builds deduplicate through the cache (the first param set touching a
+  // table key pays; repeats hit), so the expensive stage-B work below only
+  // ever sees immutable shared state.
+  for (size_t i = 0; i < n; ++i) {
+    eopts[i] = base_opts;
+    eopts[i].use_prepared_cache = true;
+    eopts[i].seed = bopts.derive_item_seeds
+                        ? HashMix64(bopts.seed + 0x9e3779b97f4a7c15ULL * (i + 1))
+                        : session_->DeriveSeed(base_opts.seed);
+    auto stage = PrepareStage(param_sets[i], eopts[i]);
+    if (!stage.ok()) {
+      results[i] = stage.status();
+      continue;
+    }
+    stages[i] = stage.MoveValue();
+    stages[i]->template_hit = !warm_snapshot.empty();
+    if (eopts[i].warm_start) {
+      stages[i]->warm_order = warm_snapshot;
+    } else {
+      stages[i]->warm_order.clear();
+    }
+  }
+
+  // Stage B (parallel): execute + post-process every param set.
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(bopts.num_workers, 1)),
+                       std::max<size_t>(n, 1)));
+  ParallelFor(n, workers, [&](size_t i) {
+    if (results[i].has_value()) return;  // prepare error
+    auto exec = pipeline.Execute(*stages[i], eopts[i]);
+    if (!exec.ok()) {
+      results[i] = exec.status();
+      return;
+    }
+    results[i] = pipeline.PostProcess(*stages[i], exec.MoveValue());
+    stages[i].reset();  // release artifact handles promptly
+  });
+
+  std::vector<Result<QueryOutput>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(results[i].has_value()
+                      ? std::move(*results[i])
+                      : Result<QueryOutput>(
+                            Status::Internal("batch item not executed")));
+  }
+  return out;
+}
+
+}  // namespace skinner

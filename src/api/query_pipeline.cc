@@ -40,6 +40,12 @@ Result<PreparedStage> QueryPipeline::PrepareFresh(
   bundle->bound = std::move(owned_query);
   if (bundle->bound != nullptr) query = bundle->bound.get();
 
+  if (query->num_params > 0) {
+    return Status::InvalidArgument(
+        "query contains ? parameters; prepare it with Session::Prepare and "
+        "execute it with bound values");
+  }
+
   PreparedStage stage;
   stage.clock = std::make_unique<VirtualClock>();
 
@@ -68,6 +74,8 @@ PreparedStage QueryPipeline::RebindStage(PreparedHandle handle,
   stage.signature = std::move(signature);
   stage.cache_hit = true;
   stage.preprocess_cost = 0;  // the artifact is already built
+  stage.tables_from_cache =
+      static_cast<int>(handle->data != nullptr ? handle->data->tables.size() : 0);
   stage.pq = PreparedQuery::Rebind(handle->bound.get(), handle->info.get(),
                                    catalog_->string_pool(),
                                    stage.clock.get(), handle->data);
@@ -78,30 +86,36 @@ PreparedStage QueryPipeline::RebindStage(PreparedHandle handle,
 Result<PreparedStage> QueryPipeline::Prepare(BoundStage bound,
                                              const ExecOptions& opts) const {
   const bool caching = opts.use_prepared_cache && cache_ != nullptr;
-  std::string signature;
-  std::string key;
-  std::vector<TableStamp> stamps;
-  if (caching) {
-    signature = ComputeQuerySignature(*bound.query);
-    key = PreparedCacheKey(signature, opts.build_hash_indexes);
-    stamps = ComputeTableStamps(*bound.query);
-    PreparedHandle handle = cache_->Lookup(key, stamps);
-    if (handle != nullptr) {
-      PreparedStage stage = RebindStage(std::move(handle), signature);
-      if (opts.warm_start) stage.warm_order = cache_->WarmOrder(signature);
-      return stage;
-    }
+  if (!caching) {
+    return PrepareFresh(std::move(bound.query), /*query=*/nullptr, opts);
   }
-  SKINNER_ASSIGN_OR_RETURN(
-      PreparedStage stage, PrepareFresh(std::move(bound.query),
-                                        /*query=*/nullptr, opts));
+  std::string signature = ComputeQuerySignature(*bound.query);
+  std::string key = PreparedCacheKey(signature, opts.build_hash_indexes);
+  std::vector<TableStamp> stamps = ComputeTableStamps(*bound.query);
+  PreparedCache::BundleClaim claim = cache_->Acquire(key, stamps);
+  if (claim.handle != nullptr) {
+    PreparedStage stage = RebindStage(std::move(claim.handle), signature);
+    std::vector<int> warm = cache_->WarmOrder(signature);
+    stage.template_hit = !warm.empty();
+    if (opts.warm_start) stage.warm_order = std::move(warm);
+    return stage;
+  }
+  // This call owns the build: every concurrent Prepare of the same key is
+  // now blocked in Acquire until we Publish (or Abandon on failure).
+  auto prep = PrepareFresh(std::move(bound.query), /*query=*/nullptr, opts);
+  if (!prep.ok()) {
+    cache_->Abandon(key);
+    return prep.status();
+  }
+  PreparedStage stage = prep.MoveValue();
   stage.signature = std::move(signature);
-  if (caching) {
-    cache_->Insert(key, std::move(stamps), stage.shared);
-    // A previous (since invalidated) execution of the template may still
-    // have left a useful join order behind.
-    if (opts.warm_start) stage.warm_order = cache_->WarmOrder(stage.signature);
-  }
+  stage.tables_reprepared = stage.pq->num_tables();
+  cache_->Publish(key, std::move(stamps), stage.shared);
+  // A previous (since invalidated) execution of the template may still
+  // have left a useful join order behind.
+  std::vector<int> warm = cache_->WarmOrder(stage.signature);
+  stage.template_hit = !warm.empty();
+  if (opts.warm_start) stage.warm_order = std::move(warm);
   return stage;
 }
 
@@ -243,6 +257,9 @@ Result<QueryOutput> QueryPipeline::PostProcess(const PreparedStage& prep,
   out.stats = std::move(exec.stats);
   out.stats.preprocess_cost = prep.preprocess_cost;
   out.stats.prepared_from_cache = prep.cache_hit;
+  out.stats.template_signature_hit = prep.template_hit;
+  out.stats.tables_prepared_from_cache = prep.tables_from_cache;
+  out.stats.tables_reprepared = prep.tables_reprepared;
   out.stats.join_result_tuples = exec.join_result->size();
   SKINNER_ASSIGN_OR_RETURN(out.result,
                            skinner::PostProcess(*prep.pq, *exec.join_result));

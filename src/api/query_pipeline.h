@@ -32,6 +32,13 @@ struct PreparedStage {
   bool cache_hit = false;
   uint64_t preprocess_cost = 0;        // 0 on a cache hit
   std::vector<int> warm_order;         // UCT warm-start hint (may be empty)
+  /// A warm-start order keyed by the template signature existed in the
+  /// cache (reported even when opts.warm_start leaves it unused).
+  bool template_hit = false;
+  /// Per-table artifact provenance (filled by the PreparedStatement path;
+  /// the bundle path reports all-or-nothing).
+  int tables_from_cache = 0;
+  int tables_reprepared = 0;
 };
 
 /// Output of the execute stage: the join result in position space plus the
@@ -71,7 +78,11 @@ class QueryPipeline {
   /// Stage 3: bound query -> prepared stage. With opts.use_prepared_cache,
   /// serves repeated signatures from the PreparedCache (preprocess_cost 0)
   /// and registers fresh artifacts for reuse; invalidation is by table
-  /// data-version stamps. Thread-safe.
+  /// data-version stamps. Concurrent Prepares of one signature coordinate
+  /// through the cache's in-flight build registry: one caller builds, the
+  /// rest block and share its artifact. Thread-safe. Parameterized
+  /// templates (num_params > 0) are rejected — only
+  /// PreparedStatement::Execute may run those.
   Result<PreparedStage> Prepare(BoundStage bound, const ExecOptions& opts) const;
 
   /// Stage 3 for an externally owned BoundQuery (Database::RunSelect):

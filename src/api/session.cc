@@ -1,0 +1,105 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "api/prepared_statement.h"
+#include "api/query_pipeline.h"
+#include "common/hash_util.h"
+
+namespace skinner {
+
+Session::Session(Database* db, uint64_t id, ExecOptions defaults)
+    : db_(db), id_(id), defaults_(std::move(defaults)) {}
+
+Session::~Session() = default;
+
+uint64_t Session::DeriveSeed(uint64_t seed) const {
+  if (id_ == 0) return seed;  // the built-in default session is transparent
+  return HashMix64(seed ^ (id_ * 0x9e3779b97f4a7c15ULL));
+}
+
+void Session::Roll(const Result<QueryOutput>& result) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!result.ok()) {
+    ++stats_.errors;
+    return;
+  }
+  const ExecutionStats& s = result.value().stats;
+  ++stats_.queries;
+  stats_.total_cost += s.total_cost;
+  stats_.preprocess_cost += s.preprocess_cost;
+  if (s.prepared_from_cache) ++stats_.prepared_from_cache;
+  if (s.template_signature_hit) ++stats_.template_hits;
+  stats_.tables_prepared_from_cache +=
+      static_cast<uint64_t>(s.tables_prepared_from_cache);
+  stats_.tables_reprepared += static_cast<uint64_t>(s.tables_reprepared);
+}
+
+void Session::RollPrepared() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.statements_prepared;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Result<QueryOutput> Session::Query(const std::string& sql) {
+  return Query(sql, defaults_);
+}
+
+Result<QueryOutput> Session::Query(const std::string& sql,
+                                   const ExecOptions& opts) {
+  ExecOptions eopts = opts;
+  eopts.seed = DeriveSeed(opts.seed);
+  QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
+                         db_->prepared_cache());
+  Result<QueryOutput> out = pipeline.Run(sql, eopts);
+  Roll(out);
+  return out;
+}
+
+std::vector<Result<QueryOutput>> Session::QueryBatch(
+    const std::vector<BatchItem>& items, const BatchOptions& opts) {
+  BatchOptions bopts = opts;
+  bopts.seed = DeriveSeed(opts.seed);
+  std::vector<Result<QueryOutput>> results;
+  if (!bopts.derive_item_seeds && id_ != 0) {
+    // Per-item seeds are kept, but the session id still folds in — two
+    // sessions running the identical batch must explore independently.
+    std::vector<BatchItem> derived = items;
+    for (BatchItem& item : derived) item.opts.seed = DeriveSeed(item.opts.seed);
+    results = db_->QueryBatchInternal(derived, bopts);
+  } else {
+    results = db_->QueryBatchInternal(items, bopts);
+  }
+  for (const auto& r : results) Roll(r);
+  return results;
+}
+
+Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
+    const std::string& sql) {
+  QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
+                         db_->prepared_cache());
+  SKINNER_ASSIGN_OR_RETURN(Statement stmt, pipeline.Parse(sql));
+  SKINNER_ASSIGN_OR_RETURN(BoundStage bound, pipeline.Bind(std::move(stmt)));
+  std::unique_ptr<PreparedStatement> handle(
+      new PreparedStatement(this, sql, std::move(bound.query)));
+  SKINNER_RETURN_IF_ERROR(handle->Init());
+  RollPrepared();
+  return handle;
+}
+
+std::vector<Result<QueryOutput>> Session::ExecuteBatch(
+    PreparedStatement* stmt, const std::vector<std::vector<Value>>& param_sets,
+    const BatchOptions& opts) {
+  BatchOptions bopts = opts;
+  bopts.seed = DeriveSeed(opts.seed);
+  std::vector<Result<QueryOutput>> results =
+      stmt->ExecuteMany(param_sets, bopts, defaults_);
+  for (const auto& r : results) Roll(r);
+  return results;
+}
+
+}  // namespace skinner

@@ -2,12 +2,18 @@
 
 #include <cstdint>
 #include <cstring>
+#include <iterator>
+#include <utility>
 
 #include "common/str_util.h"
 
 namespace skinner {
 
 namespace {
+
+/// Warm orders deliberately outlive entry invalidation, so they get their
+/// own, fixed-size FIFO ring independent of the byte budget.
+constexpr size_t kMaxWarmOrders = 512;
 
 /// Serializes one bound expression unambiguously: every node contributes a
 /// kind tag, its operator/index payload, and parenthesized children, so no
@@ -18,30 +24,15 @@ void AppendExprSignature(const Expr& e, std::string* out) {
     case ExprKind::kColumnRef:
       out->append(StrFormat("c%d.%d", e.table_idx, e.column_idx));
       break;
-    case ExprKind::kLiteral: {
-      const Value& v = e.literal;
-      if (v.is_null()) {
-        out->append("ln");
-        break;
-      }
-      switch (v.type()) {
-        case DataType::kInt64:
-          out->append(StrFormat("li%lld", static_cast<long long>(v.AsInt())));
-          break;
-        case DataType::kDouble: {
-          uint64_t bits;
-          double d = v.AsDouble();
-          std::memcpy(&bits, &d, sizeof(d));
-          out->append(StrFormat("ld%llx", static_cast<unsigned long long>(bits)));
-          break;
-        }
-        case DataType::kString:
-          out->append(StrFormat("ls%zu:", v.AsString().size()));
-          out->append(v.AsString());
-          break;
-      }
+    case ExprKind::kLiteral:
+      AppendValueSignature(e.literal, out);
       break;
-    }
+    case ExprKind::kParam:
+      // Parameter-abstracted typed slot: the ordinal plus the inferred
+      // type, never a value. Every execution of the template shares this.
+      out->append(StrFormat("p%d:%d", e.param_idx,
+                            static_cast<int>(e.out_type)));
+      break;
     case ExprKind::kBinaryOp:
       out->append(StrFormat("b%d", static_cast<int>(e.bin_op)));
       break;
@@ -67,6 +58,29 @@ void AppendExprSignature(const Expr& e, std::string* out) {
 }
 
 }  // namespace
+
+void AppendValueSignature(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->append("ln");
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kInt64:
+      out->append(StrFormat("li%lld", static_cast<long long>(v.AsInt())));
+      break;
+    case DataType::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(d));
+      out->append(StrFormat("ld%llx", static_cast<unsigned long long>(bits)));
+      break;
+    }
+    case DataType::kString:
+      out->append(StrFormat("ls%zu:", v.AsString().size()));
+      out->append(v.AsString());
+      break;
+  }
+}
 
 std::string ComputeQuerySignature(const BoundQuery& query) {
   std::string sig;
@@ -115,20 +129,56 @@ std::string PreparedCacheKey(const std::string& signature,
   return signature + (build_hash_indexes ? "|P:i1" : "|P:i0");
 }
 
-PreparedCache::PreparedCache(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+std::string TableArtifactKey(const std::string& template_signature,
+                             int table_idx, bool build_hash_indexes,
+                             const std::string& param_values_sig) {
+  return StrFormat("%s|T%d|i%d|V:", template_signature.c_str(), table_idx,
+                   build_hash_indexes ? 1 : 0) +
+         param_values_sig;
+}
 
-void PreparedCache::EvictLocked(const std::string& signature) {
-  auto it = entries_.find(signature);
+PreparedCache::PreparedCache(size_t max_bytes)
+    : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+
+void PreparedCache::EvictLocked(const std::string& key) {
+  auto it = entries_.find(key);
   if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
 }
 
-PreparedHandle PreparedCache::Lookup(const std::string& signature,
+void PreparedCache::EvictTableLocked(const std::string& key) {
+  auto it = table_entries_.find(key);
+  if (it == table_entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  table_entries_.erase(it);
+}
+
+void PreparedCache::EvictLruLocked(LruList::iterator it) {
+  if (it->table) {
+    EvictTableLocked(it->key);
+  } else {
+    EvictLocked(it->key);
+  }
+}
+
+bool PreparedCache::ReserveLocked(size_t bytes) {
+  if (bytes > max_bytes_) return false;
+  while (bytes_used_ + bytes > max_bytes_ && !lru_.empty()) {
+    ++size_evictions_;
+    EvictLruLocked(std::prev(lru_.end()));
+  }
+  return bytes_used_ + bytes <= max_bytes_;
+}
+
+// ---- whole-query bundles ---------------------------------------------
+
+PreparedHandle PreparedCache::Lookup(const std::string& key,
                                      const std::vector<TableStamp>& stamps) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(signature);
+  auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
     return nullptr;
@@ -138,7 +188,7 @@ PreparedHandle PreparedCache::Lookup(const std::string& signature,
     // is stale — drop it so the re-prepare can take its slot.
     ++invalidations_;
     ++misses_;
-    EvictLocked(signature);
+    EvictLocked(key);
     return nullptr;
   }
   ++hits_;
@@ -146,19 +196,193 @@ PreparedHandle PreparedCache::Lookup(const std::string& signature,
   return it->second.bundle;
 }
 
-void PreparedCache::Insert(const std::string& signature,
+void PreparedCache::InsertLocked(const std::string& key,
+                                 std::vector<TableStamp> stamps,
+                                 PreparedHandle bundle) {
+  if (bundle == nullptr) return;
+  EvictLocked(key);
+  const size_t bytes =
+      kEntryOverheadBytes + (bundle->data != nullptr ? bundle->data->bytes() : 0);
+  if (!ReserveLocked(bytes)) {
+    ++admission_rejected_;
+    return;
+  }
+  lru_.push_front(LruKey{false, key});
+  Entry e;
+  e.stamps = std::move(stamps);
+  e.bundle = std::move(bundle);
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  bytes_used_ += bytes;
+  entries_.emplace(key, std::move(e));
+}
+
+void PreparedCache::Insert(const std::string& key,
                            std::vector<TableStamp> stamps,
                            PreparedHandle bundle) {
-  if (bundle == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  EvictLocked(signature);
-  while (entries_.size() >= capacity_) {
-    EvictLocked(lru_.back());
-  }
-  lru_.push_front(signature);
-  entries_.emplace(signature,
-                   Entry{std::move(stamps), std::move(bundle), lru_.begin()});
+  InsertLocked(key, std::move(stamps), std::move(bundle));
 }
+
+PreparedCache::BundleClaim PreparedCache::Acquire(
+    const std::string& key, const std::vector<TableStamp>& stamps) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.stamps == stamps) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return BundleClaim{it->second.bundle, false};
+      }
+      ++invalidations_;
+      EvictLocked(key);
+    }
+    auto inf = inflight_.find(key);
+    if (inf == inflight_.end()) {
+      ++misses_;
+      inflight_.emplace(key, std::make_shared<Inflight>());
+      return BundleClaim{nullptr, true};
+    }
+    // Block on the owner's build instead of re-preparing. The payload
+    // travels through the token so an eviction racing between Publish and
+    // this wake-up cannot strand us.
+    std::shared_ptr<Inflight> token = inf->second;
+    ++inflight_waits_;
+    token->cv.wait(lock, [&] { return token->done; });
+    if (token->bundle != nullptr && token->stamps == stamps) {
+      return BundleClaim{token->bundle, false};
+    }
+    // Abandoned, or built against different stamps: retry (and possibly
+    // become the builder ourselves).
+  }
+}
+
+void PreparedCache::Publish(const std::string& key,
+                           std::vector<TableStamp> stamps,
+                           PreparedHandle bundle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inf = inflight_.find(key);
+  if (inf != inflight_.end()) {
+    inf->second->done = true;
+    inf->second->bundle = bundle;
+    inf->second->stamps = stamps;
+    inf->second->cv.notify_all();
+    inflight_.erase(inf);
+  }
+  InsertLocked(key, std::move(stamps), std::move(bundle));
+}
+
+void PreparedCache::Abandon(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inf = inflight_.find(key);
+  if (inf == inflight_.end()) return;
+  inf->second->done = true;
+  inf->second->cv.notify_all();
+  inflight_.erase(inf);
+}
+
+// ---- per-table artifacts ---------------------------------------------
+
+PreparedCache::TableArtifactPtr PreparedCache::LookupTable(
+    const std::string& key, const TableStamp& stamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_entries_.find(key);
+  if (it == table_entries_.end()) {
+    ++table_misses_;
+    return nullptr;
+  }
+  if (it->second.stamp != stamp) {
+    ++table_invalidations_;
+    ++table_misses_;
+    EvictTableLocked(key);
+    return nullptr;
+  }
+  ++table_hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.artifact;
+}
+
+void PreparedCache::InsertTableLocked(const std::string& key,
+                                      const TableStamp& stamp,
+                                      TableArtifactPtr artifact) {
+  if (artifact == nullptr) return;
+  EvictTableLocked(key);
+  const size_t bytes = kEntryOverheadBytes + artifact->bytes();
+  if (!ReserveLocked(bytes)) {
+    ++admission_rejected_;
+    return;
+  }
+  lru_.push_front(LruKey{true, key});
+  TableEntry e;
+  e.stamp = stamp;
+  e.artifact = std::move(artifact);
+  e.bytes = bytes;
+  e.lru_it = lru_.begin();
+  bytes_used_ += bytes;
+  table_entries_.emplace(key, std::move(e));
+}
+
+void PreparedCache::InsertTable(const std::string& key, const TableStamp& stamp,
+                                TableArtifactPtr artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertTableLocked(key, stamp, std::move(artifact));
+}
+
+PreparedCache::TableClaim PreparedCache::AcquireTable(const std::string& key,
+                                                      const TableStamp& stamp) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = table_entries_.find(key);
+    if (it != table_entries_.end()) {
+      if (it->second.stamp == stamp) {
+        ++table_hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return TableClaim{it->second.artifact, false};
+      }
+      ++table_invalidations_;
+      EvictTableLocked(key);
+    }
+    auto inf = table_inflight_.find(key);
+    if (inf == table_inflight_.end()) {
+      ++table_misses_;
+      table_inflight_.emplace(key, std::make_shared<Inflight>());
+      return TableClaim{nullptr, true};
+    }
+    std::shared_ptr<Inflight> token = inf->second;
+    ++inflight_waits_;
+    token->cv.wait(lock, [&] { return token->done; });
+    if (token->artifact != nullptr && token->stamp == stamp) {
+      return TableClaim{token->artifact, false};
+    }
+  }
+}
+
+void PreparedCache::PublishTable(const std::string& key,
+                                 const TableStamp& stamp,
+                                 TableArtifactPtr artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inf = table_inflight_.find(key);
+  if (inf != table_inflight_.end()) {
+    inf->second->done = true;
+    inf->second->artifact = artifact;
+    inf->second->stamp = stamp;
+    inf->second->cv.notify_all();
+    table_inflight_.erase(inf);
+  }
+  InsertTableLocked(key, stamp, std::move(artifact));
+}
+
+void PreparedCache::AbandonTable(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto inf = table_inflight_.find(key);
+  if (inf == table_inflight_.end()) return;
+  inf->second->done = true;
+  inf->second->cv.notify_all();
+  table_inflight_.erase(inf);
+}
+
+// ---- warm-start join orders ------------------------------------------
 
 void PreparedCache::RecordFinalOrder(const std::string& signature,
                                      std::vector<int> order) {
@@ -170,8 +394,8 @@ void PreparedCache::RecordFinalOrder(const std::string& signature,
     return;
   }
   // Bounded side table (FIFO): warm orders deliberately outlive entry
-  // invalidation, so they get their own, larger ring.
-  while (order_fifo_.size() >= capacity_ * 8) {
+  // invalidation, so they get their own ring outside the byte budget.
+  while (order_fifo_.size() >= kMaxWarmOrders) {
     orders_.erase(order_fifo_.back());
     order_fifo_.pop_back();
   }
@@ -191,16 +415,29 @@ PreparedCache::Stats PreparedCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.invalidations = invalidations_;
+  s.table_hits = table_hits_;
+  s.table_misses = table_misses_;
+  s.table_invalidations = table_invalidations_;
+  s.inflight_waits = inflight_waits_;
+  s.admission_rejected = admission_rejected_;
+  s.size_evictions = size_evictions_;
   s.entries = entries_.size();
+  s.table_entries = table_entries_.size();
+  s.bytes_used = bytes_used_;
+  s.max_bytes = max_bytes_;
   return s;
 }
 
 void PreparedCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  table_entries_.clear();
   lru_.clear();
+  bytes_used_ = 0;
   orders_.clear();
   order_fifo_.clear();
+  // In-flight builder claims are deliberately left untouched: their owners
+  // still hold tokens and will Publish/Abandon into the emptied cache.
 }
 
 }  // namespace skinner

@@ -1,6 +1,7 @@
 #ifndef SKINNER_EXEC_PREPARED_CACHE_H_
 #define SKINNER_EXEC_PREPARED_CACHE_H_
 
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -46,28 +47,73 @@ using PreparedHandle = std::shared_ptr<const PreparedBundle>;
 /// BY, ORDER BY and LIMIT. Template-identical queries — same normalized
 /// structure regardless of the original SQL text — map to the same
 /// signature and can share one pre-processing artifact.
+///
+/// `?` parameters serialize as typed slots (ordinal + inferred type), NOT
+/// as values: the signature of a parameterized template is therefore
+/// parameter-abstracted, and every execution of the template — whatever
+/// constants it binds — shares one signature. Warm-start join orders are
+/// keyed by it, which is what makes learned orders transfer across
+/// parameter values (paper 4.2/4.5: order quality is a property of the
+/// join template, not of the constants).
 std::string ComputeQuerySignature(const BoundQuery& query);
 
 /// The (id, data version) stamps of the query's FROM tables, in FROM order.
 std::vector<TableStamp> ComputeTableStamps(const BoundQuery& query);
 
-/// The key actually used for cache entries: the query signature plus the
-/// pre-processing variant. An artifact built without hash indexes must not
-/// serve a query that wants them (engines would silently fall back to full
-/// scans), and vice versa — so the variant is part of the entry identity.
-/// Warm-start orders stay keyed by the plain signature: a good join order
-/// is a property of the query template, not of the index variant.
+/// The key actually used for whole-bundle cache entries: the query
+/// signature plus the pre-processing variant. An artifact built without
+/// hash indexes must not serve a query that wants them (engines would
+/// silently fall back to full scans), and vice versa — so the variant is
+/// part of the entry identity. Warm-start orders stay keyed by the plain
+/// signature: a good join order is a property of the query template, not
+/// of the index variant.
 std::string PreparedCacheKey(const std::string& signature,
                              bool build_hash_indexes);
 
+/// Serializes one concrete parameter value unambiguously (typed, length-
+/// prefixed strings, doubles by bit pattern) for per-table artifact keys.
+void AppendValueSignature(const Value& v, std::string* out);
+
+/// The concrete key of ONE table's pre-processing artifact inside a
+/// parameterized template: the parameter-abstracted template signature,
+/// the table's FROM position, the index variant, and the concrete values
+/// of exactly the parameters that reach this table's unary predicates.
+/// Tables whose filters mention no parameter get the same key for every
+/// parameter set — one shared artifact — while param-filtered tables get
+/// one artifact per distinct bound value.
+std::string TableArtifactKey(const std::string& template_signature,
+                             int table_idx, bool build_hash_indexes,
+                             const std::string& param_values_sig);
+
 /// Cross-query cache of pre-processing artifacts (paper Figure 2 / 4.5:
-/// per-query filtering and hash-index builds), keyed by (signature, table
-/// stamps). A hit returns a shared PreparedBundle — the repeated query
-/// skips filtering and index builds entirely and reports preprocess_cost
-/// 0. A signature match with stale stamps (DML since the build) evicts the
-/// entry and counts as an invalidation; entries for dropped tables become
+/// per-query filtering and hash-index builds). Two granularities share one
+/// byte budget and one LRU ring:
+///
+///  - Whole-query bundles keyed by (signature, table stamps): the
+///    Query()/QueryBatch repeat-the-same-SQL path. A hit skips filtering
+///    and index builds entirely and reports preprocess_cost 0.
+///  - Per-table artifacts keyed by TableArtifactKey + per-table stamp: the
+///    PreparedStatement path, where only the tables actually filtered by a
+///    `?` re-prepare when the bound values change.
+///
+/// A key match with stale stamps (DML since the build) evicts the entry
+/// and counts as an invalidation; entries for dropped tables become
 /// unreachable the same way (the stamps of a re-created table carry a new
 /// table id) and age out of the LRU ring.
+///
+/// Admission/eviction is size-aware: every entry is charged its artifact
+/// bytes (PreparedQuery::Data::bytes / TableArtifact::bytes plus a fixed
+/// per-entry overhead), and the least recently used entries — of either
+/// granularity — are evicted until the total fits `max_bytes`. An entry
+/// larger than the whole budget is not admitted at all (counted in
+/// stats().admission_rejected); the caller still gets its handle.
+///
+/// In-flight build coordination: Acquire/AcquireTable return either a
+/// ready artifact or builder=true for exactly one caller per key; every
+/// other concurrent caller blocks until the builder Publishes (getting the
+/// freshly built artifact even if an eviction races in between) or
+/// Abandons (waking waiters to build for themselves). This removes the
+/// duplicated pre-processing a Lookup/Insert race allows.
 ///
 /// The cache additionally remembers, per signature, the last join order
 /// Skinner-C converged to, surviving data invalidation: the order quality
@@ -79,22 +125,69 @@ std::string PreparedCacheKey(const std::string& signature,
 /// after eviction (shared ownership).
 class PreparedCache {
  public:
-  static constexpr size_t kDefaultCapacity = 64;
+  static constexpr size_t kDefaultMaxBytes = size_t{64} << 20;  // 64 MiB
+  /// Charged per entry on top of the artifact bytes (map/list bookkeeping,
+  /// bundle analysis objects); also what makes zero-byte entries evictable.
+  static constexpr size_t kEntryOverheadBytes = 256;
 
-  explicit PreparedCache(size_t capacity = kDefaultCapacity);
+  explicit PreparedCache(size_t max_bytes = kDefaultMaxBytes);
   PreparedCache(const PreparedCache&) = delete;
   PreparedCache& operator=(const PreparedCache&) = delete;
 
-  /// Returns the bundle for (signature, stamps), or null on miss. A stale
-  /// entry under the same signature is evicted (counted as invalidation).
-  PreparedHandle Lookup(const std::string& signature,
+  // ---- whole-query bundles -------------------------------------------
+
+  /// Returns the bundle for (key, stamps), or null on miss. A stale entry
+  /// under the same key is evicted (counted as invalidation). Never
+  /// blocks on in-flight builds (see Acquire for that).
+  PreparedHandle Lookup(const std::string& key,
                         const std::vector<TableStamp>& stamps);
 
   /// Registers a freshly prepared bundle. An existing entry under the same
-  /// signature is replaced; the least recently used entry is evicted once
-  /// `capacity` is exceeded.
-  void Insert(const std::string& signature, std::vector<TableStamp> stamps,
+  /// key is replaced; least recently used entries are evicted until the
+  /// byte budget holds.
+  void Insert(const std::string& key, std::vector<TableStamp> stamps,
               PreparedHandle bundle);
+
+  struct BundleClaim {
+    PreparedHandle handle;  // set on a hit (ready or just-published)
+    bool builder = false;   // true: the caller must Publish or Abandon
+  };
+  /// Lookup with build coordination: a hit returns the handle; the first
+  /// caller to miss becomes the builder (builder=true) and MUST later call
+  /// Publish (success) or Abandon (failure) for this key; concurrent
+  /// callers block until then and receive the published handle.
+  BundleClaim Acquire(const std::string& key,
+                      const std::vector<TableStamp>& stamps);
+  /// Inserts the bundle and hands it to every waiter of Acquire(key).
+  void Publish(const std::string& key, std::vector<TableStamp> stamps,
+               PreparedHandle bundle);
+  /// Releases the builder claim without a result; one waiter (or the next
+  /// caller) becomes the builder instead.
+  void Abandon(const std::string& key);
+
+  // ---- per-table artifacts -------------------------------------------
+
+  using TableArtifactPtr = std::shared_ptr<const TableArtifact>;
+
+  TableArtifactPtr LookupTable(const std::string& key, const TableStamp& stamp);
+  void InsertTable(const std::string& key, const TableStamp& stamp,
+                   TableArtifactPtr artifact);
+
+  struct TableClaim {
+    TableArtifactPtr artifact;
+    bool builder = false;  // true: the caller must PublishTable/AbandonTable
+  };
+  /// AcquireTable/PublishTable/AbandonTable: as Acquire/Publish/Abandon,
+  /// at per-table granularity. A builder must publish (or abandon) one
+  /// table's claim before acquiring the next table's — builds are
+  /// per-table independent, which is what makes the protocol deadlock-free
+  /// without any lock ordering across keys.
+  TableClaim AcquireTable(const std::string& key, const TableStamp& stamp);
+  void PublishTable(const std::string& key, const TableStamp& stamp,
+                    TableArtifactPtr artifact);
+  void AbandonTable(const std::string& key);
+
+  // ---- warm-start join orders ----------------------------------------
 
   /// Records the final join order an execution of `signature` converged to
   /// (Skinner-C's UCT exploitation path). Empty orders are ignored.
@@ -106,32 +199,90 @@ class PreparedCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    uint64_t invalidations = 0;  // signature hits discarded on stale stamps
-    size_t entries = 0;
+    uint64_t invalidations = 0;  // key hits discarded on stale stamps
+    uint64_t table_hits = 0;
+    uint64_t table_misses = 0;
+    uint64_t table_invalidations = 0;
+    /// Lookups served by blocking on another caller's in-flight build
+    /// instead of re-preparing.
+    uint64_t inflight_waits = 0;
+    /// Entries larger than the whole byte budget, never admitted.
+    uint64_t admission_rejected = 0;
+    /// Entries evicted to fit the byte budget (not replacements or
+    /// stamp invalidations).
+    uint64_t size_evictions = 0;
+    size_t entries = 0;        // whole-query bundles
+    size_t table_entries = 0;  // per-table artifacts
+    size_t bytes_used = 0;     // charged bytes across both kinds
+    size_t max_bytes = 0;      // the configured budget
   };
   Stats stats() const;
 
-  /// Drops all entries and warm orders (stats are kept).
+  /// Drops all entries and warm orders (stats are kept; in-flight builder
+  /// claims stay valid and publish into the emptied cache).
   void Clear();
 
  private:
+  struct LruKey {
+    bool table;  // discriminates the two entry kinds
+    std::string key;
+  };
+  using LruList = std::list<LruKey>;
+
   struct Entry {
     std::vector<TableStamp> stamps;
     PreparedHandle bundle;
-    std::list<std::string>::iterator lru_it;
+    size_t bytes = 0;
+    LruList::iterator lru_it;
+  };
+  struct TableEntry {
+    TableStamp stamp;
+    TableArtifactPtr artifact;
+    size_t bytes = 0;
+    LruList::iterator lru_it;
+  };
+  /// One in-flight build: waiters sleep on `cv` until the builder flips
+  /// `done` (Publish carries the payload so an eviction race cannot strand
+  /// the waiters; Abandon leaves it empty).
+  struct Inflight {
+    bool done = false;
+    PreparedHandle bundle;
+    TableArtifactPtr artifact;
+    std::vector<TableStamp> stamps;
+    TableStamp stamp;
+    std::condition_variable cv;
   };
 
-  void EvictLocked(const std::string& signature);
+  void EvictLocked(const std::string& key);
+  void EvictTableLocked(const std::string& key);
+  void EvictLruLocked(LruList::iterator it);
+  /// Evicts LRU entries (of either kind) until `bytes` more fit the
+  /// budget; returns false (admission rejected) if they never can.
+  bool ReserveLocked(size_t bytes);
+  void InsertLocked(const std::string& key, std::vector<TableStamp> stamps,
+                    PreparedHandle bundle);
+  void InsertTableLocked(const std::string& key, const TableStamp& stamp,
+                         TableArtifactPtr artifact);
 
-  const size_t capacity_;
+  const size_t max_bytes_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, TableEntry> table_entries_;
+  LruList lru_;  // front = most recently used; both entry kinds
+  size_t bytes_used_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> table_inflight_;
   std::unordered_map<std::string, std::vector<int>> orders_;
   std::list<std::string> order_fifo_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t invalidations_ = 0;
+  uint64_t table_hits_ = 0;
+  uint64_t table_misses_ = 0;
+  uint64_t table_invalidations_ = 0;
+  uint64_t inflight_waits_ = 0;
+  uint64_t admission_rejected_ = 0;
+  uint64_t size_evictions_ = 0;
 };
 
 }  // namespace skinner

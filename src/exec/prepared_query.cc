@@ -129,11 +129,60 @@ std::pair<std::vector<int32_t>, uint64_t> FilterTable(
 
 }  // namespace
 
+size_t TableArtifact::bytes() const {
+  size_t b = sizeof(TableArtifact) + filtered.capacity() * sizeof(int32_t);
+  for (const auto& [col, index] : indexes) {
+    (void)col;
+    b += sizeof(HashIndex) + index->bytes();
+  }
+  return b;
+}
+
+size_t PreparedQuery::Data::bytes() const {
+  size_t b = sizeof(Data) + tables.capacity() * sizeof(const Table*);
+  for (const auto& a : artifacts) {
+    if (a != nullptr) b += a->bytes();
+  }
+  return b;
+}
+
+std::shared_ptr<const TableArtifact> BuildTableArtifact(
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const QueryInfo& info, int t, bool build_hash_indexes) {
+  auto artifact = std::make_shared<TableArtifact>();
+  auto [rows, cost] = FilterTable(tables, pool, info.unary_preds(t), t);
+  artifact->filtered = std::move(rows);
+  artifact->build_cost = cost;
+  // Hash indexes on each of t's equality-join columns, over the filtered
+  // positions only ("only tuples satisfying all unary predicates are
+  // hashed"). Built per table so the artifact is self-contained and
+  // reusable regardless of what happens to the query's other tables.
+  if (build_hash_indexes && !artifact->filtered.empty()) {
+    for (const EquiJoinPred& ep : info.equi_preds()) {
+      const std::pair<int, int> sides[2] = {{ep.left_table, ep.left_col},
+                                            {ep.right_table, ep.right_col}};
+      for (const auto& [st, col] : sides) {
+        if (st != t || artifact->indexes.count(col) != 0) continue;
+        auto index = std::make_unique<HashIndex>();
+        const Column& c = tables[static_cast<size_t>(t)]->column(col);
+        for (size_t p = 0; p < artifact->filtered.size(); ++p) {
+          if (c.IsNull(artifact->filtered[p])) continue;  // NULL never equi-joins
+          index->Add(JoinKeyOf(c, artifact->filtered[p]),
+                     static_cast<int32_t>(p));
+          ++artifact->build_cost;
+        }
+        index->Build();
+        artifact->indexes.emplace(col, std::move(index));
+      }
+    }
+  }
+  return artifact;
+}
+
 const HashIndex* PreparedQuery::index(int t, int col) const {
-  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) |
-                 static_cast<uint32_t>(col);
-  auto it = data_->indexes.find(key);
-  return it == data_->indexes.end() ? nullptr : it->second.get();
+  const auto& indexes = data_->artifacts[static_cast<size_t>(t)]->indexes;
+  auto it = indexes.find(col);
+  return it == indexes.end() ? nullptr : it->second.get();
 }
 
 std::unique_ptr<PreparedQuery> PreparedQuery::Rebind(
@@ -154,10 +203,14 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
   auto data = std::make_shared<Data>();
   data->tables = query->TablePtrs();
   const int m = static_cast<int>(data->tables.size());
-  data->filtered.resize(static_cast<size_t>(m));
+  data->artifacts.resize(static_cast<size_t>(m));
+  const bool have_reuse = opts.reuse != nullptr && !opts.reuse->empty();
+  assert(!have_reuse || opts.reuse->size() == static_cast<size_t>(m));
 
   // Constant predicates decide emptiness without touching data. Their
-  // (typically negligible) evaluation cost counts as pre-processing.
+  // (typically negligible) evaluation cost counts as pre-processing; it is
+  // re-evaluated per execution because a parameterized constant predicate
+  // changes with the bound values while the per-table artifacts do not.
   {
     VirtualClock local;
     std::vector<int64_t> binding(static_cast<size_t>(m), 0);
@@ -176,65 +229,59 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
     data->preprocess_cost += local.now();
     if (empty) {
       data->trivially_empty = true;
+      // Engines never run on a trivially empty query, but accessors must
+      // stay safe: every table gets one shared empty artifact.
+      static const std::shared_ptr<const TableArtifact> kEmpty =
+          std::make_shared<TableArtifact>();
+      for (int t = 0; t < m; ++t) {
+        data->artifacts[static_cast<size_t>(t)] =
+            have_reuse && (*opts.reuse)[static_cast<size_t>(t)] != nullptr
+                ? (*opts.reuse)[static_cast<size_t>(t)]
+                : kEmpty;
+      }
       clock->Tick(data->preprocess_cost);
       return Rebind(query, info, pool, clock, std::move(data));
     }
   }
 
-  // Unary filtering, optionally parallel (paper: pre-processing is the one
-  // parallelized phase of Skinner-C).
-  if (opts.parallel && m > 1) {
-    std::vector<std::pair<std::vector<int32_t>, uint64_t>> results(
-        static_cast<size_t>(m));
-    ParallelFor(static_cast<size_t>(m), opts.num_threads, [&](size_t i) {
-      int t = static_cast<int>(i);
-      results[i] = FilterTable(data->tables, pool, info->unary_preds(t), t);
+  // Per-table artifacts (filter + that table's equi-join indexes), built
+  // only where no reusable artifact was supplied; optionally parallel
+  // (paper: pre-processing is the one parallelized phase of Skinner-C).
+  std::vector<int> fresh;
+  fresh.reserve(static_cast<size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    if (have_reuse && (*opts.reuse)[static_cast<size_t>(t)] != nullptr) {
+      data->artifacts[static_cast<size_t>(t)] =
+          (*opts.reuse)[static_cast<size_t>(t)];
+    } else {
+      fresh.push_back(t);
+    }
+  }
+  if (opts.parallel && fresh.size() > 1) {
+    ParallelFor(fresh.size(), opts.num_threads, [&](size_t i) {
+      int t = fresh[i];
+      data->artifacts[static_cast<size_t>(t)] = BuildTableArtifact(
+          data->tables, pool, *info, t, opts.build_hash_indexes);
     });
-    // Parallel cost counts the slowest thread... we charge the max table
-    // cost (wall-clock model), matching how the paper reports speedups.
+    // Parallel cost counts the slowest table's build (wall-clock model),
+    // matching how the paper reports pre-processing speedups.
     uint64_t max_cost = 0;
-    for (int t = 0; t < m; ++t) {
-      data->filtered[static_cast<size_t>(t)] =
-          std::move(results[static_cast<size_t>(t)].first);
-      max_cost = std::max(max_cost, results[static_cast<size_t>(t)].second);
+    for (int t : fresh) {
+      max_cost = std::max(max_cost,
+                          data->artifacts[static_cast<size_t>(t)]->build_cost);
     }
     data->preprocess_cost += max_cost;
   } else {
-    for (int t = 0; t < m; ++t) {
-      auto [rows, cost] =
-          FilterTable(data->tables, pool, info->unary_preds(t), t);
-      data->filtered[static_cast<size_t>(t)] = std::move(rows);
-      data->preprocess_cost += cost;
+    for (int t : fresh) {
+      data->artifacts[static_cast<size_t>(t)] = BuildTableArtifact(
+          data->tables, pool, *info, t, opts.build_hash_indexes);
+      data->preprocess_cost +=
+          data->artifacts[static_cast<size_t>(t)]->build_cost;
     }
   }
   for (int t = 0; t < m; ++t) {
-    if (data->filtered[static_cast<size_t>(t)].empty()) {
+    if (data->artifacts[static_cast<size_t>(t)]->filtered.empty()) {
       data->trivially_empty = true;
-    }
-  }
-
-  // Hash indexes on both sides of every equality join predicate, over the
-  // filtered positions only ("only tuples satisfying all unary predicates
-  // are hashed").
-  if (opts.build_hash_indexes && !data->trivially_empty) {
-    for (const EquiJoinPred& ep : info->equi_preds()) {
-      const std::pair<int, int> sides[2] = {{ep.left_table, ep.left_col},
-                                            {ep.right_table, ep.right_col}};
-      for (const auto& [t, col] : sides) {
-        uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) |
-                       static_cast<uint32_t>(col);
-        if (data->indexes.count(key) != 0) continue;
-        auto index = std::make_unique<HashIndex>();
-        const Column& c = data->tables[static_cast<size_t>(t)]->column(col);
-        const auto& rows = data->filtered[static_cast<size_t>(t)];
-        for (size_t p = 0; p < rows.size(); ++p) {
-          if (c.IsNull(rows[p])) continue;  // NULL never equi-joins
-          index->Add(JoinKeyOf(c, rows[p]), static_cast<int32_t>(p));
-          ++data->preprocess_cost;
-        }
-        index->Build();
-        data->indexes.emplace(key, std::move(index));
-      }
     }
   }
   clock->Tick(data->preprocess_cost);

@@ -113,6 +113,34 @@ class HashIndex {
 /// equality on the driver predicate and do not re-verify with EvalPredicate.
 uint64_t JoinKeyOf(const Column& col, int64_t base_row);
 
+/// The pre-processing artifact of ONE FROM-list table: the base rows
+/// surviving its unary predicates plus hash indexes on each of its
+/// equi-join columns (over the filtered positions). Immutable after
+/// construction and shared by shared_ptr, so the PreparedCache can reuse
+/// per-table artifacts at table granularity: a parameterized statement
+/// whose `?` only filters table A re-prepares A's artifact per parameter
+/// value while every other table's artifact is shared across all values.
+struct TableArtifact {
+  std::vector<int32_t> filtered;  // surviving base rows, ascending
+  std::unordered_map<int, std::unique_ptr<HashIndex>> indexes;  // by column
+  /// Virtual cost of building this artifact (filter scan + index inserts);
+  /// charged only to the execution that actually built it.
+  uint64_t build_cost = 0;
+
+  /// Exact-ish heap footprint (cache accounting): filtered capacity plus
+  /// every frozen index.
+  size_t bytes() const;
+};
+
+/// Builds the artifact of table `t` for the analyzed query: filters by
+/// info.unary_preds(t), then (optionally) builds a hash index on each of
+/// t's equality-join columns over the survivors. Independent per table —
+/// safe to call concurrently for distinct tables, and the unit of reuse
+/// for the per-table PreparedCache.
+std::shared_ptr<const TableArtifact> BuildTableArtifact(
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const QueryInfo& info, int t, bool build_hash_indexes);
+
 /// Options controlling pre-processing.
 struct PrepareOptions {
   bool build_hash_indexes = true;
@@ -120,6 +148,11 @@ struct PrepareOptions {
   /// parallelizes the pre-processing step only).
   bool parallel = false;
   int num_threads = 4;
+  /// Per-table artifacts to reuse instead of building (PreparedStatement /
+  /// PreparedCache): when non-null and (*reuse)[t] is set, table t costs
+  /// nothing and shares the given artifact; null slots build fresh. The
+  /// vector must be empty or sized to the query's FROM list.
+  const std::vector<std::shared_ptr<const TableArtifact>>* reuse = nullptr;
 };
 
 /// Output of the pre-processor (paper Figure 2): per-table lists of base
@@ -139,15 +172,22 @@ struct PrepareOptions {
 ///    clock. Rebind() constructs one in O(1) from a shared Data.
 class PreparedQuery {
  public:
-  /// The immutable pre-processing artifact (see class comment).
+  /// The immutable pre-processing artifact (see class comment): one
+  /// shared TableArtifact per FROM-list table. Artifacts are individually
+  /// shareable — two Data bundles for different parameter values of one
+  /// template typically share every artifact except the param-filtered
+  /// tables'.
   struct Data {
     std::vector<const Table*> tables;
-    std::vector<std::vector<int32_t>> filtered;
-    std::unordered_map<uint64_t, std::unique_ptr<HashIndex>> indexes;  // (t<<32)|col
+    std::vector<std::shared_ptr<const TableArtifact>> artifacts;  // per table
     bool trivially_empty = false;
-    /// Virtual cost of the build (filter scans + index inserts); charged to
-    /// the preparing execution's clock only — a cache hit pays nothing.
+    /// Virtual cost charged to the preparing execution's clock: the cost
+    /// of the artifacts actually built for it (reused/cached tables and
+    /// cache hits contribute nothing).
     uint64_t preprocess_cost = 0;
+
+    /// Heap footprint of the referenced artifacts (cache accounting).
+    size_t bytes() const;
   };
 
   /// Runs pre-processing (filter + index build), charges the cost to
@@ -182,13 +222,13 @@ class PreparedQuery {
   bool trivially_empty() const { return data_->trivially_empty; }
 
   const std::vector<int32_t>& filtered_rows(int t) const {
-    return data_->filtered[static_cast<size_t>(t)];
+    return data_->artifacts[static_cast<size_t>(t)]->filtered;
   }
   int64_t cardinality(int t) const {
-    return static_cast<int64_t>(data_->filtered[static_cast<size_t>(t)].size());
+    return static_cast<int64_t>(filtered_rows(t).size());
   }
   int32_t base_row(int t, int64_t pos) const {
-    return data_->filtered[static_cast<size_t>(t)][static_cast<size_t>(pos)];
+    return filtered_rows(t)[static_cast<size_t>(pos)];
   }
 
   /// Index over (table, column), or nullptr if none was built.

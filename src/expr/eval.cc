@@ -68,6 +68,12 @@ Value EvalExpr(const Expr& e, const EvalContext& ctx) {
     }
     case ExprKind::kLiteral:
       return e.literal;
+    case ExprKind::kParam:
+      // Parameters are substituted with literals before anything executes
+      // (PreparedStatement::Execute); the pipeline rejects parameterized
+      // queries on every other path.
+      assert(false && "unsubstituted ? parameter reached the evaluator");
+      return Value::Null();
     case ExprKind::kBinaryOp: {
       switch (e.bin_op) {
         case BinOp::kAnd: {

@@ -19,6 +19,13 @@ std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::MakeParam(int idx) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_idx = idx;
+  return e;
+}
+
 std::unique_ptr<Expr> Expr::MakeBinary(BinOp op, std::unique_ptr<Expr> l,
                                        std::unique_ptr<Expr> r) {
   auto e = std::make_unique<Expr>();
@@ -63,6 +70,7 @@ std::unique_ptr<Expr> Expr::Clone() const {
   e->column_idx = column_idx;
   e->literal = literal;
   e->literal_pool_id = literal_pool_id;
+  e->param_idx = param_idx;
   e->bin_op = bin_op;
   e->un_op = un_op;
   e->func_name = func_name;
@@ -77,6 +85,11 @@ std::unique_ptr<Expr> Expr::Clone() const {
 void Expr::CollectTables(std::set<int>* out) const {
   if (kind == ExprKind::kColumnRef && table_idx >= 0) out->insert(table_idx);
   for (const auto& c : children) c->CollectTables(out);
+}
+
+void Expr::CollectParams(std::set<int>* out) const {
+  if (kind == ExprKind::kParam && param_idx >= 0) out->insert(param_idx);
+  for (const auto& c : children) c->CollectParams(out);
 }
 
 bool Expr::ContainsAggregate() const {
@@ -130,6 +143,8 @@ std::string Expr::ToString() const {
         return "'" + literal.ToString() + "'";
       }
       return literal.ToString();
+    case ExprKind::kParam:
+      return "?";
     case ExprKind::kBinaryOp:
       return "(" + children[0]->ToString() + " " + BinOpName(bin_op) + " " +
              children[1]->ToString() + ")";

@@ -15,6 +15,7 @@ class Udf;
 enum class ExprKind {
   kColumnRef,
   kLiteral,
+  kParam,  // `?` placeholder of a parameterized query template
   kBinaryOp,
   kUnaryOp,
   kFunctionCall,
@@ -48,6 +49,9 @@ struct Expr {
   Value literal;
   int32_t literal_pool_id = -1;  // bound string literals: id in StringPool
 
+  // -- kParam ----------------------------------------------------------
+  int param_idx = -1;  // 0-based ordinal in SQL-text order
+
   // -- kBinaryOp / kUnaryOp ---------------------------------------------
   BinOp bin_op = BinOp::kEq;
   UnOp un_op = UnOp::kNot;
@@ -68,6 +72,7 @@ struct Expr {
   // -- construction helpers ---------------------------------------------
   static std::unique_ptr<Expr> MakeColumn(std::string table, std::string col);
   static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeParam(int idx);
   static std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
                                           std::unique_ptr<Expr> r);
   static std::unique_ptr<Expr> MakeUnary(UnOp op, std::unique_ptr<Expr> c);
@@ -80,6 +85,9 @@ struct Expr {
 
   /// Collects the set of bound table indices referenced below this node.
   void CollectTables(std::set<int>* out) const;
+
+  /// Collects the ordinals of `?` parameters appearing below this node.
+  void CollectParams(std::set<int>* out) const;
 
   /// True if any node below is an aggregate.
   bool ContainsAggregate() const;

@@ -17,10 +17,48 @@ class Binder {
   Status BindExpr(Expr* e);
   Status BindColumnRef(Expr* e);
 
+  /// Grows the parameter tables to cover ordinal `idx`.
+  void NoteParam(int idx);
+  /// True for a `?` whose type has not been inferred yet.
+  bool IsOpenParam(const Expr& e) const;
+  /// Records the inferred type of parameter node `e` (first inference
+  /// wins; a string-vs-numeric conflict is a bind error).
+  Status SetParamType(Expr* e, DataType t);
+
   Catalog* catalog_;
   const UdfRegistry* udfs_;
   BoundQuery out_;
 };
+
+void Binder::NoteParam(int idx) {
+  if (idx >= out_.num_params) {
+    out_.num_params = idx + 1;
+    out_.param_types.resize(static_cast<size_t>(out_.num_params),
+                            DataType::kInt64);
+    out_.param_known.resize(static_cast<size_t>(out_.num_params), false);
+  }
+}
+
+bool Binder::IsOpenParam(const Expr& e) const {
+  return e.kind == ExprKind::kParam &&
+         !out_.param_known[static_cast<size_t>(e.param_idx)];
+}
+
+Status Binder::SetParamType(Expr* e, DataType t) {
+  NoteParam(e->param_idx);
+  const size_t i = static_cast<size_t>(e->param_idx);
+  auto is_str = [](DataType d) { return d == DataType::kString; };
+  if (out_.param_known[i]) {
+    if (is_str(out_.param_types[i]) != is_str(t)) {
+      return Status::BindError("parameter ? used with conflicting types");
+    }
+    return Status::OK();
+  }
+  out_.param_types[i] = t;
+  out_.param_known[i] = true;
+  e->out_type = t;
+  return Status::OK();
+}
 
 Status Binder::BindColumnRef(Expr* e) {
   if (!e->table_name.empty()) {
@@ -63,6 +101,11 @@ Status Binder::BindColumnRef(Expr* e) {
   return Status::OK();
 }
 
+// NOTE: the operator typing rules below are mirrored by RebindTypes() (end
+// of this file), which re-applies them to parameter-substituted trees so
+// that PreparedStatement::Execute types — and errors — exactly like the
+// literal-substituted SQL text. Any new operator or type rule added here
+// must be added there too (prepared_statement_test pins the bit-identity).
 Status Binder::BindExpr(Expr* e) {
   for (auto& c : e->children) {
     SKINNER_RETURN_IF_ERROR(BindExpr(c.get()));
@@ -78,9 +121,18 @@ Status Binder::BindExpr(Expr* e) {
         }
       }
       return Status::OK();
+    case ExprKind::kParam:
+      if (e->param_idx < 0) {
+        return Status::Internal("parameter placeholder without an ordinal");
+      }
+      NoteParam(e->param_idx);
+      // Default slot type until a parent context refines it; stays "open"
+      // (param_known false) if no context ever does.
+      e->out_type = out_.param_types[static_cast<size_t>(e->param_idx)];
+      return Status::OK();
     case ExprKind::kBinaryOp: {
-      const Expr& l = *e->children[0];
-      const Expr& r = *e->children[1];
+      Expr& l = *e->children[0];
+      Expr& r = *e->children[1];
       auto is_num = [](DataType t) { return t != DataType::kString; };
       switch (e->bin_op) {
         case BinOp::kAnd:
@@ -88,6 +140,14 @@ Status Binder::BindExpr(Expr* e) {
           e->out_type = DataType::kInt64;
           return Status::OK();
         case BinOp::kLike:
+          // A `?` on either side of LIKE can only be a string (a prior
+          // numeric inference for the same ordinal is a conflict).
+          if (l.kind == ExprKind::kParam) {
+            SKINNER_RETURN_IF_ERROR(SetParamType(&l, DataType::kString));
+          }
+          if (r.kind == ExprKind::kParam) {
+            SKINNER_RETURN_IF_ERROR(SetParamType(&r, DataType::kString));
+          }
           if (l.out_type != DataType::kString || r.out_type != DataType::kString) {
             return Status::TypeError("LIKE requires string operands");
           }
@@ -99,12 +159,33 @@ Status Binder::BindExpr(Expr* e) {
         case BinOp::kLe:
         case BinOp::kGt:
         case BinOp::kGe: {
+          // Bind-time inference: a `?` takes the type of the non-parameter
+          // side it is compared against (a NULL literal carries no type and
+          // infers nothing — `? = NULL` accepts any value, exactly like the
+          // literal-substituted text). `? = ?` stays open (checked against
+          // the concrete values at Execute time instead); a `?` already
+          // inferred with the other type class is a conflict.
+          {
+            auto null_lit = [](const Expr& x) {
+              return x.kind == ExprKind::kLiteral && x.literal.is_null();
+            };
+            if (l.kind == ExprKind::kParam && r.kind != ExprKind::kParam &&
+                !null_lit(r)) {
+              SKINNER_RETURN_IF_ERROR(SetParamType(&l, r.out_type));
+            }
+            if (r.kind == ExprKind::kParam && l.kind != ExprKind::kParam &&
+                !null_lit(l)) {
+              SKINNER_RETURN_IF_ERROR(SetParamType(&r, l.out_type));
+            }
+          }
           bool l_str = l.out_type == DataType::kString;
           bool r_str = r.out_type == DataType::kString;
-          // NULL literals compare with anything.
+          // NULL literals compare with anything; open params defer the
+          // check to substitution time.
           bool l_null = l.kind == ExprKind::kLiteral && l.literal.is_null();
           bool r_null = r.kind == ExprKind::kLiteral && r.literal.is_null();
-          if (!l_null && !r_null && l_str != r_str) {
+          bool open = IsOpenParam(l) || IsOpenParam(r);
+          if (!l_null && !r_null && !open && l_str != r_str) {
             return Status::TypeError("cannot compare string with numeric: " +
                                      e->ToString());
           }
@@ -112,6 +193,19 @@ Status Binder::BindExpr(Expr* e) {
           return Status::OK();
         }
         default:
+          // Arithmetic: a `?` operand is numeric; it takes the sibling's
+          // numeric type when available (INT otherwise). A `?` already
+          // inferred as string is a conflict.
+          if (l.kind == ExprKind::kParam) {
+            SKINNER_RETURN_IF_ERROR(SetParamType(
+                &l, is_num(r.out_type) && r.kind != ExprKind::kParam
+                        ? r.out_type
+                        : DataType::kInt64));
+          }
+          if (r.kind == ExprKind::kParam) {
+            SKINNER_RETURN_IF_ERROR(SetParamType(
+                &r, is_num(l.out_type) ? l.out_type : DataType::kInt64));
+          }
           if (!is_num(l.out_type) || !is_num(r.out_type)) {
             return Status::TypeError("arithmetic requires numeric operands: " +
                                      e->ToString());
@@ -126,6 +220,10 @@ Status Binder::BindExpr(Expr* e) {
     case ExprKind::kUnaryOp:
       switch (e->un_op) {
         case UnOp::kNeg:
+          if (e->children[0]->kind == ExprKind::kParam) {
+            SKINNER_RETURN_IF_ERROR(
+                SetParamType(e->children[0].get(), DataType::kInt64));
+          }
           if (e->children[0]->out_type == DataType::kString) {
             return Status::TypeError("cannot negate a string");
           }
@@ -289,6 +387,124 @@ Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
                               const UdfRegistry* udfs) {
   Binder binder(catalog, udfs);
   return binder.Bind(stmt);
+}
+
+std::unique_ptr<BoundQuery> BoundQuery::Clone() const {
+  auto q = std::make_unique<BoundQuery>();
+  q->tables = tables;
+  if (where != nullptr) q->where = where->Clone();
+  q->select.reserve(select.size());
+  for (const auto& s : select) {
+    q->select.push_back(BoundSelectItem{s.expr->Clone(), s.name});
+  }
+  q->distinct = distinct;
+  q->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) q->group_by.push_back(g->Clone());
+  q->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) {
+    q->order_by.push_back(BoundOrderItem{o.expr->Clone(), o.desc});
+  }
+  q->limit = limit;
+  q->has_aggregates = has_aggregates;
+  q->num_params = num_params;
+  q->param_types = param_types;
+  q->param_known = param_known;
+  return q;
+}
+
+Status RebindTypes(Expr* e) {
+  for (auto& c : e->children) {
+    SKINNER_RETURN_IF_ERROR(RebindTypes(c.get()));
+  }
+  auto is_num = [](DataType t) { return t != DataType::kString; };
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+      return Status::OK();  // bound type is authoritative
+    case ExprKind::kLiteral:
+      if (!e->literal.is_null()) e->out_type = e->literal.type();
+      return Status::OK();
+    case ExprKind::kParam:
+      return Status::Internal("unsubstituted ? parameter in executable tree");
+    case ExprKind::kBinaryOp: {
+      const Expr& l = *e->children[0];
+      const Expr& r = *e->children[1];
+      switch (e->bin_op) {
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        case BinOp::kLike:
+          if (l.out_type != DataType::kString ||
+              r.out_type != DataType::kString) {
+            return Status::TypeError("LIKE requires string operands");
+          }
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          bool l_str = l.out_type == DataType::kString;
+          bool r_str = r.out_type == DataType::kString;
+          bool l_null = l.kind == ExprKind::kLiteral && l.literal.is_null();
+          bool r_null = r.kind == ExprKind::kLiteral && r.literal.is_null();
+          if (!l_null && !r_null && l_str != r_str) {
+            return Status::TypeError("cannot compare string with numeric: " +
+                                     e->ToString());
+          }
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+        }
+        default:
+          if (!is_num(l.out_type) || !is_num(r.out_type)) {
+            return Status::TypeError("arithmetic requires numeric operands: " +
+                                     e->ToString());
+          }
+          e->out_type = (l.out_type == DataType::kDouble ||
+                         r.out_type == DataType::kDouble)
+                            ? DataType::kDouble
+                            : DataType::kInt64;
+          return Status::OK();
+      }
+    }
+    case ExprKind::kUnaryOp:
+      switch (e->un_op) {
+        case UnOp::kNeg:
+          if (e->children[0]->out_type == DataType::kString) {
+            return Status::TypeError("cannot negate a string");
+          }
+          e->out_type = e->children[0]->out_type;
+          return Status::OK();
+        default:
+          e->out_type = DataType::kInt64;
+          return Status::OK();
+      }
+    case ExprKind::kFunctionCall:
+      if (e->udf == nullptr) {
+        return Status::Internal("unbound function in executable tree");
+      }
+      e->out_type = e->udf->return_type();
+      return Status::OK();
+    case ExprKind::kAggregate:
+      switch (e->agg) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          e->out_type = DataType::kInt64;
+          break;
+        case AggKind::kAvg:
+          e->out_type = DataType::kDouble;
+          break;
+        case AggKind::kSum:
+        case AggKind::kMin:
+        case AggKind::kMax:
+          e->out_type = e->children[0]->out_type;
+          break;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
 }
 
 }  // namespace skinner

@@ -40,7 +40,21 @@ struct BoundQuery {
   int64_t limit = -1;
   bool has_aggregates = false;
 
+  /// `?` placeholders of a parameterized template (Session::Prepare). The
+  /// binder infers each parameter's type from its context (the sibling of
+  /// a comparison, LIKE's pattern side, arithmetic operands); a parameter
+  /// whose context is ambiguous stays param_known=false and accepts any
+  /// value type. Only PreparedStatement may execute a query with
+  /// num_params > 0 — every other path rejects it with an error Status.
+  int num_params = 0;
+  std::vector<DataType> param_types;  // inferred; indexed by ordinal
+  std::vector<bool> param_known;      // false: type could not be inferred
+
   int num_tables() const { return static_cast<int>(tables.size()); }
+
+  /// Deep copy (expression trees cloned; Table pointers shared). Used by
+  /// PreparedStatement to instantiate a template per execution.
+  std::unique_ptr<BoundQuery> Clone() const;
   std::vector<const Table*> TablePtrs() const {
     std::vector<const Table*> out;
     out.reserve(tables.size());
@@ -54,6 +68,13 @@ struct BoundQuery {
 /// dictionary codes instead of strings.
 Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
                               const UdfRegistry* udfs);
+
+/// Recomputes out_type bottom-up and re-applies the binder's operator type
+/// checks over an already-bound expression tree. Column references, UDF
+/// bindings and literal pool ids are left untouched. Used after parameter
+/// substitution so that a template instantiated with concrete values types
+/// (and errors) exactly like the literal-substituted SQL text would.
+Status RebindTypes(Expr* e);
 
 }  // namespace skinner
 

@@ -103,6 +103,13 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       out.push_back(std::move(tok));
       continue;
     }
+    if (c == '?') {
+      tok.type = TokenType::kParam;
+      tok.text = "?";
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
     // Multi-char symbols first.
     auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string();
     if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {

@@ -14,6 +14,7 @@ enum class TokenType {
   kDouble,    // floating-point literal
   kString,    // 'quoted string' with '' escape
   kSymbol,    // operator / punctuation: ( ) , . = <> != < <= > >= + - * / %
+  kParam,     // ? placeholder (parameterized query templates)
   kEnd,
 };
 

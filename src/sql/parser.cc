@@ -78,6 +78,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  int num_params_ = 0;  // `?` placeholders seen so far, in SQL-text order
 };
 
 bool Parser::IsReserved(const Token& t) const {
@@ -430,6 +431,10 @@ Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
   if (t.type == TokenType::kString) {
     Advance();
     return Expr::MakeLiteral(Value::String(t.text));
+  }
+  if (t.type == TokenType::kParam) {
+    Advance();
+    return Expr::MakeParam(num_params_++);
   }
   if (MatchSymbol("(")) {
     SKINNER_ASSIGN_OR_RETURN(auto e, ParseExpr());

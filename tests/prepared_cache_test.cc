@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "api/database.h"
 #include "test_util.h"
 
@@ -174,18 +177,48 @@ TEST_F(PreparedCacheTest, TriviallyEmptyArtifactsAreCacheableToo) {
   EXPECT_EQ(warm.value().result.rows[0][0].AsInt(), 0);
 }
 
-TEST_F(PreparedCacheTest, LruEvictionAndStats) {
-  PreparedCache cache(/*capacity=*/2);
-  auto bundle = [] { return std::make_shared<PreparedBundle>(); };
+namespace {
+
+/// A bundle whose artifact charges ~(4 * n_rows) bytes, for exercising the
+/// size-aware admission/eviction policy without running real queries.
+PreparedHandle SizedBundle(size_t n_rows) {
+  auto bundle = std::make_shared<PreparedBundle>();
+  auto data = std::make_shared<PreparedQuery::Data>();
+  auto artifact = std::make_shared<TableArtifact>();
+  artifact->filtered.resize(n_rows);
+  data->artifacts.push_back(std::move(artifact));
+  bundle->data = std::move(data);
+  return bundle;
+}
+
+}  // namespace
+
+TEST_F(PreparedCacheTest, SizeAwareLruEvictionAndStats) {
+  // Entries are charged by artifact bytes (~4.3 KiB here each, including
+  // the fixed per-entry overhead); the budget below holds two of them but
+  // not three.
+  PreparedCache cache(/*max_bytes=*/12000);
   std::vector<TableStamp> stamps{{1, 1}};
 
-  cache.Insert("a", stamps, bundle());
-  cache.Insert("b", stamps, bundle());
+  cache.Insert("a", stamps, SizedBundle(1000));
+  cache.Insert("b", stamps, SizedBundle(1000));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_GT(cache.stats().bytes_used, 8000u);
+  EXPECT_LE(cache.stats().bytes_used, cache.stats().max_bytes);
+
   EXPECT_NE(cache.Lookup("a", stamps), nullptr);  // a is now most recent
-  cache.Insert("c", stamps, bundle());            // evicts b (LRU)
+  cache.Insert("c", stamps, SizedBundle(1000));   // over budget: evicts b (LRU)
   EXPECT_NE(cache.Lookup("a", stamps), nullptr);
   EXPECT_EQ(cache.Lookup("b", stamps), nullptr);
   EXPECT_NE(cache.Lookup("c", stamps), nullptr);
+  EXPECT_EQ(cache.stats().size_evictions, 1u);
+
+  // An entry larger than the whole budget is never admitted (the caller
+  // keeps its handle; the cache does not thrash itself empty for it).
+  cache.Insert("huge", stamps, SizedBundle(10000));
+  EXPECT_EQ(cache.Lookup("huge", stamps), nullptr);
+  EXPECT_EQ(cache.stats().admission_rejected, 1u);
+  EXPECT_NE(cache.Lookup("a", stamps), nullptr);  // survivors untouched
 
   // Stale stamps evict and count as invalidation.
   std::vector<TableStamp> newer{{1, 2}};
@@ -194,15 +227,96 @@ TEST_F(PreparedCacheTest, LruEvictionAndStats) {
 
   PreparedCache::Stats s = cache.stats();
   EXPECT_EQ(s.invalidations, 1u);
-  EXPECT_EQ(s.hits, 3u);
   EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.max_bytes, 12000u);
 
   cache.Clear();
   EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST_F(PreparedCacheTest, TableArtifactsShareTheBudgetWithBundles) {
+  PreparedCache cache(/*max_bytes=*/12000);
+  TableStamp stamp{1, 1};
+  auto artifact = [](size_t n) {
+    auto a = std::make_shared<TableArtifact>();
+    a->filtered.resize(n);
+    return a;
+  };
+  cache.InsertTable("t1", stamp, artifact(1000));
+  cache.Insert("q", {stamp}, SizedBundle(1000));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().table_entries, 1u);
+
+  // A third large resident (of either kind) evicts the least recently
+  // used one — the table artifact, since the bundle was touched last.
+  EXPECT_NE(cache.LookupTable("t1", stamp), nullptr);
+  EXPECT_NE(cache.Lookup("q", {stamp}), nullptr);
+  cache.InsertTable("t2", stamp, artifact(1000));
+  EXPECT_EQ(cache.LookupTable("t1", stamp), nullptr);
+  EXPECT_NE(cache.Lookup("q", {stamp}), nullptr);
+  EXPECT_NE(cache.LookupTable("t2", stamp), nullptr);
+
+  // Table stamps invalidate per table.
+  TableStamp newer{1, 2};
+  EXPECT_EQ(cache.LookupTable("t2", newer), nullptr);
+  EXPECT_EQ(cache.stats().table_invalidations, 1u);
+}
+
+TEST_F(PreparedCacheTest, AcquireBlocksOnInFlightBuildAndSharesTheResult) {
+  PreparedCache cache;
+  std::vector<TableStamp> stamps{{1, 1}};
+
+  PreparedCache::BundleClaim first = cache.Acquire("k", stamps);
+  ASSERT_TRUE(first.builder);
+  ASSERT_EQ(first.handle, nullptr);
+
+  std::atomic<bool> waiter_got_handle{false};
+  std::thread waiter([&] {
+    PreparedCache::BundleClaim second = cache.Acquire("k", stamps);
+    EXPECT_FALSE(second.builder);
+    waiter_got_handle = second.handle != nullptr;
+  });
+  // Deterministic rendezvous: inflight_waits ticks before the waiter
+  // sleeps on the build future.
+  while (cache.stats().inflight_waits == 0) {
+    std::this_thread::yield();
+  }
+  cache.Publish("k", stamps, SizedBundle(10));
+  waiter.join();
+  EXPECT_TRUE(waiter_got_handle);
+  // One build for two acquisitions.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().inflight_waits, 1u);
+}
+
+TEST_F(PreparedCacheTest, AbandonWakesWaitersIntoBuilding) {
+  PreparedCache cache;
+  TableStamp stamp{1, 1};
+
+  PreparedCache::TableClaim first = cache.AcquireTable("t", stamp);
+  ASSERT_TRUE(first.builder);
+
+  std::atomic<bool> waiter_became_builder{false};
+  std::thread waiter([&] {
+    PreparedCache::TableClaim second = cache.AcquireTable("t", stamp);
+    waiter_became_builder = second.builder;
+    if (second.builder) {
+      auto a = std::make_shared<TableArtifact>();
+      cache.PublishTable("t", stamp, std::move(a));
+    }
+  });
+  while (cache.stats().inflight_waits == 0) {
+    std::this_thread::yield();
+  }
+  cache.AbandonTable("t");  // the original builder failed
+  waiter.join();
+  EXPECT_TRUE(waiter_became_builder);
+  EXPECT_NE(cache.LookupTable("t", stamp), nullptr);
 }
 
 TEST_F(PreparedCacheTest, WarmOrderSurvivesInvalidation) {
-  PreparedCache cache(2);
+  PreparedCache cache;
   EXPECT_TRUE(cache.WarmOrder("q").empty());
   cache.RecordFinalOrder("q", {2, 0, 1});
   EXPECT_EQ(cache.WarmOrder("q"), (std::vector<int>{2, 0, 1}));
