@@ -99,6 +99,7 @@ ALL_BENCHES=(
   bench_failures
   bench_memory
   bench_parallel_join
+  bench_probe
   bench_torture_corr
   bench_torture_udf
   bench_job

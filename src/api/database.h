@@ -112,6 +112,9 @@ struct ExecutionStats {
   size_t uct_nodes = 0;
   size_t progress_nodes = 0;
   size_t auxiliary_bytes = 0;
+  /// Adaptive chunk splits on the parallel progress board (chunk-stealing
+  /// mode only; 0 otherwise).
+  uint64_t chunk_splits = 0;
   std::vector<std::pair<uint64_t, size_t>> tree_growth;
   std::map<std::vector<int>, uint64_t> order_selections;
 

@@ -25,6 +25,7 @@ RunResult RunQuery(Database* db, const std::string& query_name,
   r.intermediate = s.intermediate_tuples;
   r.result_rows = out.value().result.rows.size();
   r.join_tuples = s.join_result_tuples;
+  r.chunk_splits = s.chunk_splits;
   r.timed_out = s.timed_out;
   return r;
 }

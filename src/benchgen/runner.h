@@ -18,6 +18,7 @@ struct RunResult {
   uint64_t intermediate = 0;      // accumulated intermediate cardinality
   uint64_t result_rows = 0;
   uint64_t join_tuples = 0;       // join result size before post-processing
+  uint64_t chunk_splits = 0;      // adaptive splits (parallel Skinner-C)
   bool timed_out = false;
   bool error = false;
   std::string error_message;

@@ -1,0 +1,57 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace skinner {
+
+namespace {
+
+/// Encoded dispatch state: 0 = undetected, 1 = scalar, 2 = avx2.
+/// Detection is idempotent, so a benign first-use race (two threads both
+/// detecting) settles on the same value.
+std::atomic<int> g_level{0};
+
+int Detect() {
+#if SKINNER_HAVE_AVX2
+  const char* env = std::getenv("SKINNER_DISABLE_AVX2");
+  if (env != nullptr && env[0] != '\0') return 1;
+  if (__builtin_cpu_supports("avx2")) return 2;
+#endif
+  return 1;
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+#if SKINNER_HAVE_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == 0) {
+    level = Detect();
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return level == 2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+void ForceSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !Avx2Supported()) {
+    g_level.store(1, std::memory_order_relaxed);
+    return;
+  }
+  g_level.store(level == SimdLevel::kAvx2 ? 2 : 1, std::memory_order_relaxed);
+}
+
+void ResetSimdLevel() { g_level.store(0, std::memory_order_relaxed); }
+
+const char* SimdLevelName(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace skinner

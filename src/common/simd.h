@@ -1,0 +1,51 @@
+#ifndef SKINNER_COMMON_SIMD_H_
+#define SKINNER_COMMON_SIMD_H_
+
+namespace skinner {
+
+/// Instruction-set tier the vectorized probe path runs at. Exactly two
+/// tiers by design: every SIMD kernel in the tree must have a scalar twin
+/// with bit-identical results, so "which tier ran" is never observable in
+/// query output — only in wall time.
+enum class SimdLevel {
+  kScalar,  // portable fallback; always available
+  kAvx2,    // 16-tag group compares in the HashIndex probe path
+};
+
+/// Compile-time availability of the AVX2 kernels. They are compiled via
+/// function-level `target("avx2")` attributes (the translation unit itself
+/// stays baseline-ISA), so this only requires an x86-64 GCC/Clang and can
+/// be vetoed by defining SKINNER_DISABLE_AVX2 at compile time.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SKINNER_DISABLE_AVX2)
+#define SKINNER_HAVE_AVX2 1
+#else
+#define SKINNER_HAVE_AVX2 0
+#endif
+
+/// The dispatch level kernels should use for this process. Resolution
+/// order, checked once and cached:
+///   1. ForceSimdLevel() override, if any (tests; reversible);
+///   2. the SKINNER_DISABLE_AVX2 environment variable (any non-empty
+///      value forces kScalar — the ops-facing kill switch);
+///   3. compile-time support (SKINNER_HAVE_AVX2) + runtime CPUID.
+/// Safe to call concurrently from worker threads (relaxed atomic read).
+SimdLevel ActiveSimdLevel();
+
+/// Overrides ActiveSimdLevel() for tests. Forcing kAvx2 on a CPU without
+/// AVX2 support is ignored (the scalar path is kept) so equivalence tests
+/// can request both paths unconditionally. Call ResetSimdLevel() to
+/// return to autodetection.
+void ForceSimdLevel(SimdLevel level);
+void ResetSimdLevel();
+
+/// True when the AVX2 kernels are compiled in AND the CPU supports them
+/// (ignores the env/force overrides): whether ForceSimdLevel(kAvx2) can
+/// take effect.
+bool Avx2Supported();
+
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace skinner
+
+#endif  // SKINNER_COMMON_SIMD_H_

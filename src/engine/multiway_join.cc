@@ -60,7 +60,56 @@ std::vector<JoinStep> BuildJoinSteps(const PreparedQuery& pq,
 JoinCursor::JoinCursor(const PreparedQuery* pq, std::vector<JoinStep> steps)
     : pq_(pq),
       steps_(std::move(steps)),
-      binding_(static_cast<size_t>(pq->num_tables()), 0) {}
+      binding_(static_cast<size_t>(pq->num_tables()), 0),
+      probe_cache_(steps_.size()),
+      lookahead_(steps_.size()) {}
+
+HashIndex::Postings JoinCursor::ProbePostings(int depth, const EquiProbe& p,
+                                              uint64_t key,
+                                              bool* fresh) const {
+  ProbeCache& c = probe_cache_[static_cast<size_t>(depth)];
+  if (c.valid && c.key == key) {
+    if (fresh != nullptr) *fresh = false;
+    return c.postings;
+  }
+  const HashIndex::Postings* la =
+      lookahead_[static_cast<size_t>(depth)].Find(key);
+  const HashIndex::Postings postings = la != nullptr ? *la : p.index->Find(key);
+  c.valid = true;
+  c.key = key;
+  c.postings = postings;
+  if (fresh != nullptr) *fresh = true;
+  return postings;
+}
+
+void JoinCursor::BatchProbeNext(int depth, const int32_t* cand, size_t n,
+                                uint64_t window_id) const {
+  const size_t next = static_cast<size_t>(depth) + 1;
+  if (next >= steps_.size()) return;
+  const JoinStep& ns = steps_[next];
+  if (ns.driver < 0) return;
+  const EquiProbe& np = ns.eq[static_cast<size_t>(ns.driver)];
+  if (np.other_table != steps_[static_cast<size_t>(depth)].table) return;
+  Lookahead& guard = lookahead_[next];
+  if (guard.window_valid && guard.window == window_id) return;
+  guard.window = window_id;
+  guard.window_valid = true;
+  const Column& col = pq_->table(np.other_table)->column(np.other_col);
+  uint64_t keys[Lookahead::kWay];
+  size_t k = 0;
+  for (size_t i = 0; i < n && k < Lookahead::kWay; ++i) {
+    const int64_t row =
+        pq_->base_row(steps_[static_cast<size_t>(depth)].table, cand[i]);
+    if (col.IsNull(row)) continue;  // a NULL binding never probes
+    keys[k++] = JoinKeyOf(col, row);
+  }
+  guard.count = 0;
+  if (k == 0) return;
+  HashIndex::Postings out[Lookahead::kWay];
+  np.index->FindBatch(keys, k, out);
+  for (size_t i = 0; i < k; ++i) guard.entries[i] = {keys[i], out[i]};
+  guard.count = k;
+}
 
 uint64_t JoinCursor::ProbeKey(const EquiProbe& p, bool* is_null) const {
   const Column& col = pq_->table(p.other_table)->column(p.other_col);
@@ -81,12 +130,34 @@ int64_t JoinCursor::FirstCandidate(int depth, int64_t lower) const {
     bool null = false;
     uint64_t key = ProbeKey(p, &null);
     if (null) return -1;
-    HashIndex::Postings postings = p.index->Find(key);
+    bool fresh = false;
+    HashIndex::Postings postings = ProbePostings(depth, p, key, &fresh);
     const int32_t* it = std::lower_bound(postings.begin(), postings.end(),
                                          static_cast<int32_t>(lower));
-    return it == postings.end() ? -1 : *it;
+    if (it == postings.end()) return -1;
+    // A freshly fetched candidate window: batch-probe the next table's
+    // driving keys over it before descending (prefetched descent). Never
+    // charged — candidate enumeration does not tick the clock.
+    if (fresh) {
+      BatchProbeNext(depth, it, static_cast<size_t>(postings.end() - it),
+                     /*window_id=*/key);
+    }
+    return *it;
   }
-  return lower < card ? lower : -1;
+  if (lower >= card) return -1;
+  if (depth + 1 < static_cast<int>(steps_.size())) {
+    // Scan-driven window (leftmost table or no usable index): the
+    // candidates are simply the next positions in order.
+    int32_t scan[Lookahead::kWay];
+    const size_t n = static_cast<size_t>(
+        std::min<int64_t>(card - lower, Lookahead::kWay));
+    for (size_t i = 0; i < n; ++i) {
+      scan[i] = static_cast<int32_t>(lower + static_cast<int64_t>(i));
+    }
+    BatchProbeNext(depth, scan, n,
+                   /*window_id=*/static_cast<uint64_t>(lower));
+  }
+  return lower;
 }
 
 int64_t JoinCursor::NextCandidate(int depth, int64_t pos) const {
@@ -97,7 +168,7 @@ int64_t JoinCursor::NextCandidate(int depth, int64_t pos) const {
     bool null = false;
     uint64_t key = ProbeKey(p, &null);
     if (null) return -1;
-    HashIndex::Postings postings = p.index->Find(key);
+    HashIndex::Postings postings = ProbePostings(depth, p, key);
     const int32_t* it = std::upper_bound(postings.begin(), postings.end(),
                                          static_cast<int32_t>(pos));
     return it == postings.end() ? -1 : *it;

@@ -96,28 +96,93 @@ class JoinCursor {
  private:
   uint64_t ProbeKey(const EquiProbe& p, bool* is_null) const;
 
+  /// Single-key postings with a per-depth cache. NextCandidate re-derives
+  /// the driving key and would otherwise re-probe the hash table on every
+  /// advance within one candidate window; postings are a pure function of
+  /// the key (the index is frozen), so the cache never needs invalidation
+  /// — a stale entry for a different key simply misses. `fresh` (optional)
+  /// reports whether this call actually fetched a new window.
+  HashIndex::Postings ProbePostings(int depth, const EquiProbe& p,
+                                    uint64_t key, bool* fresh = nullptr) const;
+
+  /// Prefetched descent: batch-probes the next step's driving index for a
+  /// window of this step's candidate positions (`cand`, positions of
+  /// steps_[depth].table). FindBatch overlaps the probe cache misses and
+  /// prefetches each hit's postings head, so by the time the loop descends
+  /// with one of these candidates bound, its postings run is (likely)
+  /// resident; the results land in the next depth's lookahead and are
+  /// consumed by ProbePostings without touching the hash table again.
+  /// No-op unless the next step's driver probes this step's table, or if
+  /// the next depth's lookahead was already gathered for `window_id`
+  /// (driver paths pass the probe key, scan paths the window start — the
+  /// identity of the candidate window, so repeated descents into one
+  /// window don't re-probe).
+  void BatchProbeNext(int depth, const int32_t* cand, size_t n,
+                      uint64_t window_id) const;
+
+  struct ProbeCache {
+    bool valid = false;
+    uint64_t key = 0;
+    HashIndex::Postings postings;
+  };
+
+  /// Per-depth store of batch-probed (key, postings) pairs. Entries are
+  /// only ever compared by key, and key -> postings is immutable, so
+  /// leftover entries from an earlier window are harmless.
+  struct Lookahead {
+    static constexpr size_t kWay = HashIndex::kGroupWidth;
+    struct Entry {
+      uint64_t key;
+      HashIndex::Postings postings;
+    };
+    Entry entries[kWay];
+    size_t count = 0;
+    /// Identity of the candidate window the entries were gathered for.
+    uint64_t window = 0;
+    bool window_valid = false;
+
+    const HashIndex::Postings* Find(uint64_t key) const {
+      for (size_t i = 0; i < count; ++i) {
+        if (entries[i].key == key) return &entries[i].postings;
+      }
+      return nullptr;
+    }
+  };
+
   const PreparedQuery* pq_;
   std::vector<JoinStep> steps_;
   mutable std::vector<int64_t> binding_;  // base row per table
+  mutable std::vector<ProbeCache> probe_cache_;  // per depth
+  mutable std::vector<Lookahead> lookahead_;     // per depth
   VirtualClock* clock_override_ = nullptr;
 };
 
 /// Read-only view of one table's published completed offsets. Parallel
-/// Skinner-C splits every table's position range into uniform chunks and
-/// publishes, per chunk, the first position not yet fully joined when the
-/// table ran as a join order's leftmost (skinner/progress.h owns the
-/// writable side). The join loop consults the view on every descend so any
-/// worker can skip position ranges that any worker — itself included — has
-/// already exhausted, instead of rescanning from offset 0 (the T>1
-/// regression of the static-stripe design).
+/// Skinner-C splits every table's position range into chunks — ragged,
+/// not uniform: adaptive splitting subdivides skew-dominated chunks in
+/// place — and publishes, per chunk, the first position not yet fully
+/// joined when the table ran as a join order's leftmost
+/// (skinner/progress.h owns the writable side). The join loop consults
+/// the view on every descend so any worker can skip position ranges that
+/// any worker — itself included — has already exhausted, instead of
+/// rescanning from offset 0 (the T>1 regression of the static-stripe
+/// design).
 ///
-/// All loads are relaxed: published offsets only grow, and the tuples they
-/// summarize are read only after the worker threads join, so a stale read
-/// is merely conservative (some duplicate work, never a missed result).
+/// The view is two position-sorted parallel arrays: `lo[k]` is chunk k's
+/// first position (lo[0] == 0, chunks tile [0, cardinality)), and
+/// `offset[k]` points at its atomic published offset. The arrays are
+/// rebuilt only at the engine's slice barrier (chunk splits), never while
+/// a worker holds a view.
+///
+/// All offset loads are relaxed: published offsets only grow, and the
+/// tuples they summarize are read only after the worker threads join, so
+/// a stale read is merely conservative (some duplicate work, never a
+/// missed result).
 struct PublishedOffsets {
-  /// Per-chunk "first not-fully-joined position" (absolute, monotone).
-  const std::atomic<int64_t>* chunk_offset = nullptr;
-  int64_t chunk_size = 1;
+  /// Position-sorted chunk lower bounds.
+  const int64_t* lo = nullptr;
+  /// Per sorted chunk: its "first not-fully-joined position" (monotone).
+  const std::atomic<int64_t>* const* offset = nullptr;
   int64_t cardinality = 0;
   size_t num_chunks = 0;
 
@@ -125,15 +190,16 @@ struct PublishedOffsets {
   /// across contiguously completed chunks, so scattered completed regions
   /// (work stealing finishes chunks out of order) are skipped too.
   int64_t SkipCompleted(int64_t pos) const {
-    if (chunk_offset == nullptr) return pos;
+    if (lo == nullptr || num_chunks == 0) return pos;
     while (pos >= 0 && pos < cardinality) {
-      size_t k = static_cast<size_t>(pos / chunk_size);
-      if (k >= num_chunks) break;
-      int64_t off = chunk_offset[k].load(std::memory_order_relaxed);
+      // The chunk holding pos: largest k with lo[k] <= pos.
+      const size_t k = static_cast<size_t>(
+          std::upper_bound(lo, lo + num_chunks, pos) - lo) - 1;
+      int64_t off = offset[k]->load(std::memory_order_relaxed);
       if (pos >= off) return pos;  // not known complete
       pos = off;  // [chunk lo, off) is fully joined
-      int64_t hi = std::min((static_cast<int64_t>(k) + 1) * chunk_size,
-                            cardinality);
+      const int64_t hi =
+          k + 1 < num_chunks ? lo[k + 1] : cardinality;
       if (pos < hi) return pos;
       // The chunk is fully complete: fall through into the next chunk.
     }

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#if SKINNER_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
 #include "common/hash_util.h"
 #include "common/parallel.h"
 
@@ -45,29 +49,38 @@ void HashIndex::Build() {
   built_ = true;
   if (staged_.empty()) {
     num_keys_ = 0;
-    // Release any staging capacity even on the empty path so bytes() never
+    // Release any staging blocks even on the empty path so bytes() never
     // charges the frozen index for build-time scratch.
-    std::vector<std::pair<uint64_t, int32_t>>().swap(staged_);
+    staged_.Release();
     return;
   }
-  // Capacity: next power of two holding the staged pairs at <= 50% load
-  // (the distinct-key count is bounded by the pair count).
+  // Capacity: next power of two holding the staged pairs at or under
+  // kMaxLoadPercent occupancy (the distinct-key count is bounded by the
+  // pair count). This is the invariant that bounds every probe chain and
+  // guarantees Find() always reaches an empty tag.
+  static_assert(kMaxLoadPercent == 50,
+                "capacity sizing below assumes the 50% load bound");
   size_t cap = 16;
   while (cap < staged_.size() * 2) cap <<= 1;
   mask_ = cap - 1;
   slots_.assign(cap, Slot{});
+  tags_.assign(cap + kGroupWidth, 0);
 
-  // Pass 1: count the run length of every distinct key.
-  for (const auto& [key, pos] : staged_) {
+  // Pass 1: count the run length of every distinct key. Insertion probes
+  // linearly from h & mask — the same sequence every Find path walks.
+  staged_.ForEach([&](uint64_t key, int32_t pos) {
     (void)pos;
-    size_t i = HashMix64(key) & mask_;
+    const uint64_t h = HashMix64(key);
+    size_t i = h & mask_;
     while (slots_[i].len != 0 && slots_[i].key != key) i = (i + 1) & mask_;
     if (slots_[i].len == 0) {
       slots_[i].key = key;
+      tags_[i] = TagOf(h);
       ++num_keys_;
     }
     ++slots_[i].len;
-  }
+  });
+  assert(num_keys_ * 2 <= cap && "HashIndex load factor above 50%");
   // Pass 2: assign arena offsets (prefix sum in slot order).
   uint32_t offset = 0;
   for (Slot& s : slots_) {
@@ -79,16 +92,169 @@ void HashIndex::Build() {
   // stable scatter preserves it, keeping every run sorted.
   arena_.resize(staged_.size());
   std::vector<uint32_t> cursor(cap, 0);
-  for (const auto& [key, pos] : staged_) {
+  staged_.ForEach([&](uint64_t key, int32_t pos) {
     size_t i = HashMix64(key) & mask_;
     while (slots_[i].key != key) i = (i + 1) & mask_;
     arena_[slots_[i].offset + cursor[i]] = pos;
     ++cursor[i];
+  });
+  // Mirror the first probe group past the end so an unaligned 16-byte tag
+  // load starting anywhere in [0, cap) never reads uninitialized bytes and
+  // sees exactly the wrapped-around tag sequence.
+  for (size_t i = 0; i < kGroupWidth; ++i) {
+    tags_[cap + i] = tags_[i];
   }
-  // Swap-release the staging vector: shrink_to_fit is only a request, and
-  // the "exact heap footprint" contract of bytes() must not keep charging
-  // for scratch that the index no longer needs.
-  std::vector<std::pair<uint64_t, int32_t>>().swap(staged_);
+  // Release the staging blocks: the "exact heap footprint" contract of
+  // bytes() must not keep charging for scratch the index no longer needs.
+  staged_.Release();
+}
+
+#if SKINNER_HAVE_AVX2
+
+__attribute__((target("avx2"))) HashIndex::Postings HashIndex::FindAvx2(
+    uint64_t key, uint64_t h) const {
+  // Group-of-16 scan over the tag array. Candidates within a group are
+  // resolved in ascending probe order and the scan stops at the first
+  // empty tag, so the visited-candidate sequence is exactly the scalar
+  // linear probe's — the two paths return bit-identical results.
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(TagOf(h)));
+  const __m128i zero = _mm_setzero_si128();
+  size_t i = h & mask_;
+#ifndef NDEBUG
+  size_t probes = 0;
+#endif
+  while (true) {
+    // The mirror bytes past tags_[cap] make this unaligned load safe and
+    // wraparound-correct for any start position in [0, cap).
+    const __m128i group = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(tags_.data() + i));
+    unsigned match = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(group, needle)));
+    const unsigned empty = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(group, zero)));
+    if (empty != 0) {
+      // Only candidates strictly before the first empty tag belong to this
+      // key's probe chain.
+      match &= (empty & (0u - empty)) - 1u;
+    }
+    while (match != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(match));
+      const size_t slot = (i + j) & mask_;
+      const Slot& s = slots_[slot];
+      if (s.key == key) return {arena_.data() + s.offset, s.len};
+      match &= match - 1;
+    }
+    if (empty != 0) return {};
+    i = (i + kGroupWidth) & mask_;
+#ifndef NDEBUG
+    probes += kGroupWidth;
+    assert(probes <= slots_.size() + kGroupWidth &&
+           "HashIndex::FindAvx2 probed every slot: load-factor invariant "
+           "broken (table over-full)");
+#endif
+  }
+}
+
+#endif  // SKINNER_HAVE_AVX2
+
+namespace {
+/// Batch-kernel prefetch distance: hashing + tag/slot prefetching runs
+/// this many probes ahead of resolution, so by the time probe i resolves,
+/// its (random, usually cold) tag and payload lines have had a full
+/// pipeline's worth of work to arrive. A grouped prefetch-then-resolve
+/// scheme stalls at every group boundary — the first resolution starts
+/// one cycle after its own prefetch; the steady-state pipeline never
+/// does. This memory-level parallelism, not instruction count, is what
+/// makes the batch path several times faster than looped Find() on
+/// cache-cold tables. Must be a power of two (ring indexing).
+constexpr size_t kPrefetchDist = 32;
+}  // namespace
+
+// NOTE: FindBatchScalar and FindBatchAvx2 are line-for-line twins of one
+// software pipeline, kept textually duplicated because GCC will not
+// inline across target("avx2")/baseline-ISA boundaries — a shared helper
+// would reintroduce a per-key out-of-line call in one kernel or the
+// other. Keep the two loops in sync.
+
+void HashIndex::FindBatchScalar(const uint64_t* keys, size_t n,
+                                Postings* out) const {
+  uint64_t hashes[kPrefetchDist];
+  const size_t lead = n < kPrefetchDist ? n : kPrefetchDist;
+  for (size_t i = 0; i < lead; ++i) {
+    const uint64_t h = HashMix64(keys[i]);
+    hashes[i] = h;
+    const size_t s = h & mask_;
+    __builtin_prefetch(tags_.data() + s, 0, 1);
+    __builtin_prefetch(slots_.data() + s, 0, 1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    // Read the current probe's hash BEFORE the ahead-write: slot i of the
+    // ring is exactly the slot probe i + kPrefetchDist re-fills.
+    const uint64_t h = hashes[i & (kPrefetchDist - 1)];
+    const size_t ahead = i + kPrefetchDist;
+    if (ahead < n) {
+      const uint64_t ha = HashMix64(keys[ahead]);
+      hashes[ahead & (kPrefetchDist - 1)] = ha;
+      const size_t s = ha & mask_;
+      __builtin_prefetch(tags_.data() + s, 0, 1);
+      __builtin_prefetch(slots_.data() + s, 0, 1);
+    }
+    const Postings p = FindHashed(keys[i], h);
+    // Prefetch the postings head for the caller's binary-search jump.
+    if (p.data != nullptr) __builtin_prefetch(p.data, 0, 1);
+    out[i] = p;
+  }
+}
+
+#if SKINNER_HAVE_AVX2
+
+__attribute__((target("avx2"))) void HashIndex::FindBatchAvx2(
+    const uint64_t* keys, size_t n, Postings* out) const {
+  uint64_t hashes[kPrefetchDist];
+  const size_t lead = n < kPrefetchDist ? n : kPrefetchDist;
+  for (size_t i = 0; i < lead; ++i) {
+    const uint64_t h = HashMix64(keys[i]);
+    hashes[i] = h;
+    const size_t s = h & mask_;
+    __builtin_prefetch(tags_.data() + s, 0, 1);
+    __builtin_prefetch(slots_.data() + s, 0, 1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    // Read the current probe's hash BEFORE the ahead-write: slot i of the
+    // ring is exactly the slot probe i + kPrefetchDist re-fills.
+    const uint64_t h = hashes[i & (kPrefetchDist - 1)];
+    const size_t ahead = i + kPrefetchDist;
+    if (ahead < n) {
+      const uint64_t ha = HashMix64(keys[ahead]);
+      hashes[ahead & (kPrefetchDist - 1)] = ha;
+      const size_t s = ha & mask_;
+      __builtin_prefetch(tags_.data() + s, 0, 1);
+      __builtin_prefetch(slots_.data() + s, 0, 1);
+    }
+    // Same target => the compiler inlines the group scan into the loop.
+    const Postings p = FindAvx2(keys[i], h);
+    // Prefetch the postings head for the caller's binary-search jump.
+    if (p.data != nullptr) __builtin_prefetch(p.data, 0, 1);
+    out[i] = p;
+  }
+}
+
+#endif  // SKINNER_HAVE_AVX2
+
+void HashIndex::FindBatch(const uint64_t* keys, size_t n,
+                          Postings* out) const {
+  assert(built_ && "HashIndex::FindBatch before Build() misses every key");
+  if (slots_.empty()) {
+    for (size_t i = 0; i < n; ++i) out[i] = {};
+    return;
+  }
+#if SKINNER_HAVE_AVX2
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    FindBatchAvx2(keys, n, out);
+    return;
+  }
+#endif
+  FindBatchScalar(keys, n, out);
 }
 
 namespace {
@@ -127,6 +293,39 @@ std::pair<std::vector<int32_t>, uint64_t> FilterTable(
   return {std::move(rows), cost + local.now()};
 }
 
+/// Ascending, deduplicated equality-join columns of table `t` — the
+/// columns the paper indexes ("we create hash tables on all columns
+/// subject to equality predicates").
+std::vector<int> EquiJoinColumns(const QueryInfo& info, int t) {
+  std::vector<int> cols;
+  for (const EquiJoinPred& ep : info.equi_preds()) {
+    if (ep.left_table == t) cols.push_back(ep.left_col);
+    if (ep.right_table == t) cols.push_back(ep.right_col);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+/// Builds the frozen index of one (table, column) pair over the filtered
+/// positions; returns it with the virtual cost of the inserts. The unit of
+/// parallelism for pre-processing index builds: each call stages into its
+/// own HashIndex shard, so concurrent jobs share no growing allocation.
+std::pair<std::unique_ptr<HashIndex>, uint64_t> BuildColumnIndex(
+    const std::vector<const Table*>& tables, int t, int col,
+    const std::vector<int32_t>& filtered) {
+  auto index = std::make_unique<HashIndex>();
+  uint64_t cost = 0;
+  const Column& c = tables[static_cast<size_t>(t)]->column(col);
+  for (size_t p = 0; p < filtered.size(); ++p) {
+    if (c.IsNull(filtered[p])) continue;  // NULL never equi-joins
+    index->Add(JoinKeyOf(c, filtered[p]), static_cast<int32_t>(p));
+    ++cost;
+  }
+  index->Build();
+  return {std::move(index), cost};
+}
+
 }  // namespace
 
 size_t TableArtifact::bytes() const {
@@ -158,22 +357,10 @@ std::shared_ptr<const TableArtifact> BuildTableArtifact(
   // hashed"). Built per table so the artifact is self-contained and
   // reusable regardless of what happens to the query's other tables.
   if (build_hash_indexes && !artifact->filtered.empty()) {
-    for (const EquiJoinPred& ep : info.equi_preds()) {
-      const std::pair<int, int> sides[2] = {{ep.left_table, ep.left_col},
-                                            {ep.right_table, ep.right_col}};
-      for (const auto& [st, col] : sides) {
-        if (st != t || artifact->indexes.count(col) != 0) continue;
-        auto index = std::make_unique<HashIndex>();
-        const Column& c = tables[static_cast<size_t>(t)]->column(col);
-        for (size_t p = 0; p < artifact->filtered.size(); ++p) {
-          if (c.IsNull(artifact->filtered[p])) continue;  // NULL never equi-joins
-          index->Add(JoinKeyOf(c, artifact->filtered[p]),
-                     static_cast<int32_t>(p));
-          ++artifact->build_cost;
-        }
-        index->Build();
-        artifact->indexes.emplace(col, std::move(index));
-      }
+    for (int col : EquiJoinColumns(info, t)) {
+      auto [index, cost] = BuildColumnIndex(tables, t, col, artifact->filtered);
+      artifact->build_cost += cost;
+      artifact->indexes.emplace(col, std::move(index));
     }
   }
   return artifact;
@@ -258,15 +445,58 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
     }
   }
   if (opts.parallel && fresh.size() > 1) {
+    // Phase A: filter every fresh table in parallel.
+    std::vector<std::shared_ptr<TableArtifact>> built(
+        static_cast<size_t>(m));
     ParallelFor(fresh.size(), opts.num_threads, [&](size_t i) {
-      int t = fresh[i];
-      data->artifacts[static_cast<size_t>(t)] = BuildTableArtifact(
-          data->tables, pool, *info, t, opts.build_hash_indexes);
+      const int t = fresh[i];
+      auto artifact = std::make_shared<TableArtifact>();
+      auto [rows, cost] =
+          FilterTable(data->tables, pool, info->unary_preds(t), t);
+      artifact->filtered = std::move(rows);
+      artifact->build_cost = cost;
+      built[static_cast<size_t>(t)] = std::move(artifact);
     });
+    // Phase B: one job per (table, column) index, so a single wide table
+    // cannot serialize the build and each worker stages into its own
+    // HashIndex shard (no contended/false-shared growing vector).
+    struct IndexJob {
+      int t;
+      int col;
+      std::unique_ptr<HashIndex> index;
+      uint64_t cost = 0;
+    };
+    std::vector<IndexJob> jobs;
+    if (opts.build_hash_indexes) {
+      for (int t : fresh) {
+        if (built[static_cast<size_t>(t)]->filtered.empty()) continue;
+        for (int col : EquiJoinColumns(*info, t)) {
+          jobs.push_back(IndexJob{t, col, nullptr, 0});
+        }
+      }
+    }
+    ParallelFor(jobs.size(), opts.num_threads, [&](size_t i) {
+      IndexJob& job = jobs[i];
+      auto [index, cost] = BuildColumnIndex(
+          data->tables, job.t, job.col,
+          built[static_cast<size_t>(job.t)]->filtered);
+      job.index = std::move(index);
+      job.cost = cost;
+    });
+    // Attach sequentially — unordered_map insertion is not thread-safe.
+    // Cost totals are count-based and schedule-independent, so the values
+    // match the sequential path exactly.
+    for (IndexJob& job : jobs) {
+      TableArtifact& a = *built[static_cast<size_t>(job.t)];
+      a.build_cost += job.cost;
+      a.indexes.emplace(job.col, std::move(job.index));
+    }
     // Parallel cost counts the slowest table's build (wall-clock model),
     // matching how the paper reports pre-processing speedups.
     uint64_t max_cost = 0;
     for (int t : fresh) {
+      data->artifacts[static_cast<size_t>(t)] =
+          built[static_cast<size_t>(t)];
       max_cost = std::max(max_cost,
                           data->artifacts[static_cast<size_t>(t)]->build_cost);
     }

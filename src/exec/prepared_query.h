@@ -9,12 +9,75 @@
 
 #include "common/clock.h"
 #include "common/hash_util.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "expr/eval.h"
 #include "query/query_info.h"
 #include "sql/binder.h"
 
 namespace skinner {
+
+/// Per-builder staging shard for HashIndex construction. Append-only
+/// (key, position) pairs stored in fixed-size heap blocks, so concurrent
+/// index builds (parallel pre-processing builds one index per worker at
+/// (table, column) granularity) never share a growing allocation: a
+/// std::vector staging area reallocates-and-copies on growth and lets hot
+/// append cursors of different workers land on one cache line, while each
+/// shard here owns its blocks outright. Frozen into the index's single
+/// contiguous postings arena by HashIndex::Build().
+class StagingShard {
+ public:
+  /// 2048 pairs * 12-16 bytes ~= one 24 KiB block: large enough that
+  /// block turnover is negligible, small enough that a tiny index does not
+  /// overallocate by more than one block.
+  static constexpr size_t kBlockPairs = 2048;
+
+  void Append(uint64_t key, int32_t pos) {
+    if (size_ == blocks_.size() * kBlockPairs) {
+      blocks_.push_back(std::make_unique<Block>());
+    }
+    Block& b = *blocks_.back();
+    b.pairs[size_ % kBlockPairs] = {key, pos};
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every staged pair in append order.
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    size_t remaining = size_;
+    for (const auto& block : blocks_) {
+      const size_t n = remaining < kBlockPairs ? remaining : kBlockPairs;
+      for (size_t i = 0; i < n; ++i) {
+        fn(block->pairs[i].first, block->pairs[i].second);
+      }
+      remaining -= n;
+    }
+  }
+
+  /// Exact heap footprint (whole blocks; the unit of allocation).
+  size_t bytes() const {
+    return blocks_.size() * sizeof(Block) +
+           blocks_.capacity() * sizeof(std::unique_ptr<Block>);
+  }
+
+  /// Frees every block (Build() releases staging so frozen indexes stop
+  /// charging for build-time scratch).
+  void Release() {
+    std::vector<std::unique_ptr<Block>>().swap(blocks_);
+    size_ = 0;
+  }
+
+ private:
+  struct Block {
+    std::pair<uint64_t, int32_t> pairs[kBlockPairs];
+  };
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+  size_t size_ = 0;
+};
 
 /// Hash index over the *filtered positions* of one (table, column) pair:
 /// join key -> ascending run of positions. Built during pre-processing for
@@ -23,13 +86,33 @@ namespace skinner {
 /// Sorted postings make Skinner-C's "jump to the next matching tuple index"
 /// a single binary search, so execution state stays a plain index vector.
 ///
-/// Layout: a flat open-addressing (linear probing) table of {key, offset,
-/// len} slots over a single postings arena holding every key's ascending
-/// position run contiguously. Compared to a node-based map of vectors this
-/// is one cache miss per probe, allocation-free after Build(), and safely
-/// shareable read-only across engines and worker threads.
+/// Layout: a flat open-addressing (linear probing) table, tag-augmented in
+/// the Swiss-table style: an 8-bit tag array (0 = empty, else the key
+/// hash's top 7 bits with the high bit set) split from the {key, offset,
+/// len} payload slots, over a single postings arena holding every key's
+/// ascending position run contiguously. The split layout keeps the probe
+/// path touching one dense byte per rejected slot instead of a 16-byte
+/// payload, and lets FindBatch() compare 16 tags per AVX2 step (scalar
+/// fallback selected at runtime; see common/simd.h). Compared to a
+/// node-based map of vectors this is one cache miss per probe,
+/// allocation-free after Build(), and safely shareable read-only across
+/// engines and worker threads.
+///
+/// Load factor: Build() sizes the table to the next power of two holding
+/// the staged pairs at <= kMaxLoadPercent occupancy, so probe chains stay
+/// short and every probe loop is guaranteed to hit an empty tag — Find()
+/// can never spin on a full table (debug builds additionally assert a
+/// probe counter never exceeds the capacity).
 class HashIndex {
  public:
+  /// Tags compared per probe group; AVX2 does one group per step. The tag
+  /// array carries kGroupWidth mirrored bytes past the end so unaligned
+  /// group loads never wrap mid-load.
+  static constexpr size_t kGroupWidth = 16;
+  /// Maximum occupancy enforced by Build(): capacity is at least twice the
+  /// staged pair count (distinct keys <= pairs), i.e. load <= 50%.
+  static constexpr size_t kMaxLoadPercent = 50;
+
   /// A key's ascending position run inside the shared arena. Empty (count
   /// 0) when the key is absent.
   struct Postings {
@@ -48,35 +131,43 @@ class HashIndex {
   /// all adds must precede Build() — a late Add would be silently dropped.
   void Add(uint64_t key, int32_t pos) {
     assert(!built_ && "HashIndex::Add after Build() would be dropped");
-    staged_.emplace_back(key, pos);
+    staged_.Append(key, pos);
   }
 
-  /// Freezes the staged pairs into the probe table + postings arena.
-  /// Idempotent; must be called before Find().
+  /// Freezes the staged pairs into the tag array + probe table + postings
+  /// arena. Idempotent; must be called before Find().
   void Build();
 
-  /// The ascending position run for `key` (empty if no match).
+  /// The ascending position run for `key` (empty if no match). A thin
+  /// wrapper over the single-key scalar probe — exact pre-vectorization
+  /// semantics; the batch entry point is FindBatch().
   Postings Find(uint64_t key) const {
     assert(built_ && "HashIndex::Find before Build() misses every key");
     if (slots_.empty()) return {};
-    size_t i = HashMix64(key) & mask_;
-    while (true) {
-      const Slot& s = slots_[i];
-      if (s.len == 0) return {};
-      if (s.key == key) return {arena_.data() + s.offset, s.len};
-      i = (i + 1) & mask_;
-    }
+    return FindHashed(key, HashMix64(key));
   }
 
+  /// Batch probe: out[i] = Find(keys[i]) for i in [0, n). Processes keys
+  /// in groups: hashes and prefetches a whole group's tag/slot lines first
+  /// (overlapping the cache misses that bound single-key probe latency),
+  /// then resolves each probe with 16-tag-per-step AVX2 compares when the
+  /// runtime dispatch allows (common/simd.h; scalar fallback otherwise),
+  /// prefetching each hit's postings head for the caller's binary-search
+  /// jump. Results are bit-identical to per-key Find() on either path.
+  void FindBatch(const uint64_t* keys, size_t n, Postings* out) const;
+
   size_t num_keys() const { return num_keys_; }
+  /// Probe-table slots (0 before Build or for an empty index).
+  size_t num_slots() const { return slots_.size(); }
+
   /// Exact heap footprint. Before Build() this is dominated by the staging
-  /// vector; Build() releases the staging allocation (swap idiom — a plain
-  /// shrink_to_fit is a non-binding request), so the frozen index accounts
-  /// for exactly the probe table plus the postings arena.
+  /// shard's blocks; Build() releases the staging blocks, so the frozen
+  /// index accounts for exactly the tag array, the probe table and the
+  /// postings arena.
   size_t bytes() const {
     return arena_.capacity() * sizeof(int32_t) +
            slots_.capacity() * sizeof(Slot) +
-           staged_.capacity() * sizeof(std::pair<uint64_t, int32_t>);
+           tags_.capacity() * sizeof(uint8_t) + staged_.bytes();
   }
 
  private:
@@ -86,8 +177,56 @@ class HashIndex {
     uint32_t len = 0;  // 0 = empty slot (every real key has >= 1 posting)
   };
 
-  std::vector<std::pair<uint64_t, int32_t>> staged_;  // cleared by Build()
+  /// 7 hash bits with the high bit set, so a present tag is never the
+  /// empty sentinel (0). Drawn from the top of the mixed hash: the slot
+  /// index uses the low bits, so tag and index stay independent.
+  static uint8_t TagOf(uint64_t h) {
+    return static_cast<uint8_t>(0x80u | (h >> 57));
+  }
+
+  /// Scalar single-key probe with a precomputed hash. The probe sequence
+  /// (linear from h & mask) is shared by every path — scalar, AVX2 group
+  /// scan, and Build()'s insertion — which is what makes the tag filter a
+  /// pure accelerator with identical results.
+  Postings FindHashed(uint64_t key, uint64_t h) const {
+    const uint8_t tag = TagOf(h);
+    size_t i = h & mask_;
+#ifndef NDEBUG
+    size_t probes = 0;
+#endif
+    while (true) {
+      const uint8_t t = tags_[i];
+      if (t == 0) return {};
+      if (t == tag) {
+        const Slot& s = slots_[i];
+        if (s.key == key) return {arena_.data() + s.offset, s.len};
+      }
+      i = (i + 1) & mask_;
+#ifndef NDEBUG
+      ++probes;
+      assert(probes <= slots_.size() &&
+             "HashIndex::Find probed every slot: load-factor invariant "
+             "broken (table over-full)");
+#endif
+    }
+  }
+
+#if SKINNER_HAVE_AVX2
+  /// AVX2 group probe: compares kGroupWidth tags per step. Defined in the
+  /// .cc behind a function-level target("avx2") attribute; only called
+  /// when runtime dispatch reports AVX2.
+  Postings FindAvx2(uint64_t key, uint64_t h) const;
+  /// Whole-batch AVX2 kernel (target("avx2") in the .cc): the software
+  /// pipeline of FindBatchScalar with the group scan inlined — one
+  /// dispatch decision per batch, zero per-key call overhead.
+  void FindBatchAvx2(const uint64_t* keys, size_t n, Postings* out) const;
+#endif
+  /// Portable whole-batch kernel (the dispatch fallback).
+  void FindBatchScalar(const uint64_t* keys, size_t n, Postings* out) const;
+
+  StagingShard staged_;  // released by Build()
   std::vector<Slot> slots_;
+  std::vector<uint8_t> tags_;  // num_slots + kGroupWidth mirrored bytes
   std::vector<int32_t> arena_;
   size_t mask_ = 0;
   size_t num_keys_ = 0;

@@ -79,43 +79,76 @@ SharedProgress::SharedProgress(const std::vector<int64_t>& cardinalities,
   for (size_t t = 0; t < cardinalities.size(); ++t) {
     TableState& ts = tables_[t];
     ts.card = cardinalities[t];
-    ts.chunk_size = std::max(
+    const int64_t chunk_size = std::max(
         min_chunk_rows, (ts.card + target_chunks - 1) / target_chunks);
-    ts.num_chunks = ts.card == 0
-                        ? 0
-                        : static_cast<int>((ts.card + ts.chunk_size - 1) /
-                                           ts.chunk_size);
-    ts.offset = std::make_unique<std::atomic<int64_t>[]>(
-        static_cast<size_t>(ts.num_chunks));
-    ts.progress.reserve(static_cast<size_t>(ts.num_chunks));
-    for (int c = 0; c < ts.num_chunks; ++c) {
-      ts.offset[static_cast<size_t>(c)].store(ts.chunk_size * c,
-                                              std::memory_order_relaxed);
-      ts.progress.push_back(std::make_unique<ProgressTree>(num_tables));
+    // Every table gets at least one chunk, even at cardinality 0 (the
+    // chunk [0, 0) is born complete): a zero-chunk table would produce
+    // empty per-slice work lists and division hazards downstream.
+    const int n = std::max<int64_t>(
+        1, (ts.card + chunk_size - 1) / chunk_size);
+    ts.chunks.reserve(static_cast<size_t>(n));
+    for (int c = 0; c < n; ++c) {
+      auto chunk = std::make_unique<Chunk>();
+      chunk->lo = chunk_size * c;
+      chunk->hi = std::min(chunk_size * (c + 1), ts.card);
+      chunk->offset.store(chunk->lo, std::memory_order_relaxed);
+      chunk->progress = std::make_unique<ProgressTree>(num_tables);
+      ts.chunks.push_back(std::move(chunk));
     }
-    views_[t].chunk_offset = ts.offset.get();
-    views_[t].chunk_size = ts.chunk_size;
-    views_[t].cardinality = ts.card;
-    views_[t].num_chunks = static_cast<size_t>(ts.num_chunks);
+    RebuildView(static_cast<int>(t));
   }
+}
+
+void SharedProgress::RebuildView(int t) {
+  TableState& ts = tables_[static_cast<size_t>(t)];
+  const size_t n = ts.chunks.size();
+  ts.sorted_lo.resize(n);
+  ts.sorted_off.resize(n);
+  // Sort chunk ids by lower bound (splits append out of position order).
+  std::vector<size_t> by_lo(n);
+  for (size_t i = 0; i < n; ++i) by_lo[i] = i;
+  std::sort(by_lo.begin(), by_lo.end(), [&](size_t a, size_t b) {
+    return ts.chunks[a]->lo < ts.chunks[b]->lo;
+  });
+  for (size_t k = 0; k < n; ++k) {
+    ts.sorted_lo[k] = ts.chunks[by_lo[k]]->lo;
+    ts.sorted_off[k] = &ts.chunks[by_lo[k]]->offset;
+  }
+  // Recompute the first-incomplete cursor for the new ordering (the
+  // barrier context makes all offsets visible, so this is exact here).
+  int k = 0;
+  while (k < static_cast<int>(n)) {
+    const int64_t hi = k + 1 < static_cast<int>(n) ? ts.sorted_lo[k + 1]
+                                                   : ts.card;
+    if (ts.sorted_off[k]->load(std::memory_order_relaxed) < hi) break;
+    ++k;
+  }
+  ts.first_incomplete.store(k, std::memory_order_relaxed);
+  PublishedOffsets& v = views_[static_cast<size_t>(t)];
+  v.lo = ts.sorted_lo.data();
+  v.offset = ts.sorted_off.data();
+  v.cardinality = ts.card;
+  v.num_chunks = n;
 }
 
 void SharedProgress::Publish(int t, int c, int64_t p) {
   TableState& ts = tables_[static_cast<size_t>(t)];
-  p = std::min(p, chunk_hi(t, c));
-  std::atomic<int64_t>& off = ts.offset[static_cast<size_t>(c)];
-  int64_t cur = off.load(std::memory_order_relaxed);
-  while (cur < p && !off.compare_exchange_weak(cur, p,
-                                               std::memory_order_release,
-                                               std::memory_order_relaxed)) {
+  Chunk& ch = chunk(t, c);
+  p = std::min(p, ch.hi);
+  int64_t cur = ch.offset.load(std::memory_order_relaxed);
+  while (cur < p && !ch.offset.compare_exchange_weak(
+                        cur, p, std::memory_order_release,
+                        std::memory_order_relaxed)) {
   }
   // Advance the contiguous completed prefix past any chunks that are now
-  // complete. Every value involved is monotone, so racing publishers can
-  // only under-advance (conservative), never over-advance.
+  // complete, walking the position-sorted view. Every value involved is
+  // monotone within a slice, so racing publishers can only under-advance
+  // (conservative), never over-advance.
+  const int n = static_cast<int>(ts.sorted_lo.size());
   int k = ts.first_incomplete.load(std::memory_order_relaxed);
-  while (k < ts.num_chunks &&
-         ts.offset[static_cast<size_t>(k)].load(std::memory_order_relaxed) >=
-             chunk_hi(t, k)) {
+  while (k < n) {
+    const int64_t hi = k + 1 < n ? ts.sorted_lo[k + 1] : ts.card;
+    if (ts.sorted_off[k]->load(std::memory_order_relaxed) < hi) break;
     ++k;
   }
   int cur_k = ts.first_incomplete.load(std::memory_order_relaxed);
@@ -124,9 +157,8 @@ void SharedProgress::Publish(int t, int c, int64_t p) {
                           std::memory_order_relaxed)) {
   }
   int64_t pfx =
-      k >= ts.num_chunks
-          ? ts.card
-          : ts.offset[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+      k >= n ? ts.card
+             : ts.sorted_off[k]->load(std::memory_order_relaxed);
   int64_t cur_p = ts.prefix.load(std::memory_order_relaxed);
   while (cur_p < pfx && !ts.prefix.compare_exchange_weak(
                             cur_p, pfx, std::memory_order_release,
@@ -137,11 +169,8 @@ void SharedProgress::Publish(int t, int c, int64_t p) {
 bool SharedProgress::TableComplete(int t) const {
   const TableState& ts = tables_[static_cast<size_t>(t)];
   if (ts.prefix.load(std::memory_order_relaxed) >= ts.card) return true;
-  for (int c = 0; c < ts.num_chunks; ++c) {
-    if (ts.offset[static_cast<size_t>(c)].load(std::memory_order_relaxed) <
-        chunk_hi(t, c)) {
-      return false;
-    }
+  for (const auto& ch : ts.chunks) {
+    if (ch->offset.load(std::memory_order_relaxed) < ch->hi) return false;
   }
   return true;
 }
@@ -156,7 +185,44 @@ bool SharedProgress::AnyTableComplete() const {
 size_t SharedProgress::num_progress_nodes() const {
   size_t n = 0;
   for (const TableState& ts : tables_) {
-    for (const auto& tree : ts.progress) n += tree->num_nodes();
+    for (const auto& ch : ts.chunks) n += ch->progress->num_nodes();
+  }
+  return n;
+}
+
+int SharedProgress::SplitChunk(int t, int c) {
+  TableState& ts = tables_[static_cast<size_t>(t)];
+  Chunk& ch = chunk(t, c);
+  const int64_t off = ch.offset.load(std::memory_order_relaxed);
+  const int64_t start = std::max(off, ch.lo);
+  if (ch.hi - start < 2) return -1;  // nothing meaningful to split
+  const int64_t mid = start + (ch.hi - start) / 2;
+  // The parent keeps [lo, mid) and its progress tree: every state stored
+  // in it has its leftmost position <= the published offset (suspension
+  // publishes everything below its position first), and offset <= start <
+  // mid, so no stored state refers past the shrunk bound.
+  auto child = std::make_unique<Chunk>();
+  child->lo = mid;
+  child->hi = ch.hi;
+  child->offset.store(mid, std::memory_order_relaxed);
+  child->progress = std::make_unique<ProgressTree>(num_tables());
+  // Move half the parent's heat so a still-dominant half keeps a signal
+  // strong enough to split again next slice.
+  const uint64_t heat = ch.steps.load(std::memory_order_relaxed) / 2;
+  ch.steps.store(heat, std::memory_order_relaxed);
+  child->steps.store(heat, std::memory_order_relaxed);
+  ch.hi = mid;
+  ts.chunks.push_back(std::move(child));
+  ++num_splits_;
+  RebuildView(t);
+  return static_cast<int>(ts.chunks.size()) - 1;
+}
+
+int SharedProgress::IncompleteChunks(int t) const {
+  const TableState& ts = tables_[static_cast<size_t>(t)];
+  int n = 0;
+  for (const auto& ch : ts.chunks) {
+    if (ch->offset.load(std::memory_order_relaxed) < ch->hi) ++n;
   }
   return n;
 }

@@ -182,12 +182,63 @@ void SkinnerCEngine::RunWorkerSlice(Worker* w, const std::vector<int>& order) {
   if (!done) w->progress.Backup(order, state);
 }
 
+void SkinnerCEngine::AdaptiveSplit(int leftmost_table) {
+  const int T = static_cast<int>(workers_.size());
+  // A slice's virtual cost is the slowest worker's clock, so workers
+  // idling while one grinds a hot chunk is pure cost. Split while either
+  //  (a) there are fewer work units than workers (endgame starvation), or
+  //  (b) one chunk has absorbed a majority of all executed steps so far
+  //      (a skew hot spot: whoever claims it will dominate the slice),
+  // capped at kMaxUnitsPerWorker units so balanced workloads never churn.
+  constexpr int kMaxUnitsPerWorker = 4;
+  int incomplete = shared_->IncompleteChunks(leftmost_table);
+  while (incomplete > 0 && incomplete < kMaxUnitsPerWorker * T) {
+    // Hottest splittable chunk; remaining range breaks heat ties (all-zero
+    // heat degenerates to largest-remaining, still the best balance bet).
+    const int n = shared_->num_chunks(leftmost_table);
+    int best = -1;
+    uint64_t best_heat = 0;
+    uint64_t total_heat = 0;
+    int64_t best_remaining = 0;
+    for (int c = 0; c < n; ++c) {
+      const int64_t remaining = shared_->chunk_hi(leftmost_table, c) -
+                                shared_->chunk_offset(leftmost_table, c);
+      if (remaining < 2) continue;  // complete or unsplittable
+      const uint64_t heat = shared_->chunk_steps(leftmost_table, c);
+      total_heat += heat;
+      if (best < 0 || heat > best_heat ||
+          (heat == best_heat && remaining > best_remaining)) {
+        best = c;
+        best_heat = heat;
+        best_remaining = remaining;
+      }
+    }
+    const bool starving = incomplete < T;
+    const bool dominant = best_heat * 2 > total_heat && best_heat > 0;
+    if (!starving && !dominant) break;
+    if (best < 0 || shared_->SplitChunk(leftmost_table, best) < 0) break;
+    ++incomplete;
+  }
+}
+
 void SkinnerCEngine::BuildSliceWork(int leftmost_table) {
   work_table_ = leftmost_table;
   work_ids_.clear();
   const int n = shared_->num_chunks(leftmost_table);
   for (int c = 0; c < n; ++c) {
     if (!shared_->ChunkComplete(leftmost_table, c)) work_ids_.push_back(c);
+  }
+  // Serve from the completion frontier: position order, windowed (see
+  // SkinnerCOptions::claim_window_per_worker). Chunk ids are
+  // append-ordered (splits push children at the end), so sort by range.
+  if (opts_.claim_window_per_worker > 0) {
+    std::sort(work_ids_.begin(), work_ids_.end(), [&](int a, int b) {
+      return shared_->chunk_lo(leftmost_table, a) <
+             shared_->chunk_lo(leftmost_table, b);
+    });
+    const size_t window = static_cast<size_t>(opts_.claim_window_per_worker) *
+                          workers_.size();
+    if (work_ids_.size() > window) work_ids_.resize(window);
   }
   // Contiguous per-worker blocks (chunk locality for the common case);
   // the remainder chunks go to the first blocks.
@@ -274,7 +325,10 @@ double SkinnerCEngine::RunChunk(Worker* w, const std::vector<int>& order,
       cursor, order, spec, &state, &w->loop_stats,
       [&](const PosTuple& tuple) { w->local.Insert(tuple); },
       [&](int64_t p) { shared_->Publish(t0, chunk_id, p); });
-  *budget_left -= static_cast<int64_t>(w->loop_stats.steps - steps_before);
+  const uint64_t chunk_steps = w->loop_stats.steps - steps_before;
+  *budget_left -= static_cast<int64_t>(chunk_steps);
+  // Heat for the adaptive split policy: how much budget this chunk ate.
+  shared_->AddChunkSteps(t0, chunk_id, chunk_steps);
 
   double after;
   if (exit == JoinLoopExit::kCompleted) {
@@ -356,7 +410,10 @@ void SkinnerCEngine::StopThreads() {
 void SkinnerCEngine::DispatchSlice(const std::vector<int>& order) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stealing()) BuildSliceWork(order[0]);
+    if (stealing()) {
+      AdaptiveSplit(order[0]);
+      BuildSliceWork(order[0]);
+    }
     slice_order_ = &order;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -450,7 +507,13 @@ Status SkinnerCEngine::Run(ResultSet* out) {
   }
   if (T > 1) StopThreads();
 
+  stats_.worker_busy_cost = 0;
+  for (const auto& w : workers_) {
+    stats_.worker_busy_cost +=
+        workers_.size() > 1 ? w->clock.now() : pq_->clock()->now();
+  }
   stats_.uct_nodes = uct_.num_nodes();
+  stats_.chunk_splits = shared_ != nullptr ? shared_->num_splits() : 0;
   stats_.progress_nodes = shared_ != nullptr ? shared_->num_progress_nodes()
                                              : 0;
   stats_.intermediate_tuples = 0;

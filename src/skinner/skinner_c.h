@@ -72,6 +72,17 @@ struct SkinnerCOptions {
   /// ...but never into chunks smaller than this many positions, so claim
   /// and publication overhead stays negligible per chunk.
   int64_t min_chunk_rows = 16;
+  /// Chunk-stealing claim window: each slice serves at most
+  /// claim_window_per_worker * num_threads incomplete chunks, taken in
+  /// position order from the table's completion frontier. Serving from
+  /// the frontier keeps the published completed prefix contiguous (so
+  /// other orders' descents skip it) and preserves the sequential
+  /// engine's learning signal: a freshly explored leftmost table must
+  /// grind its frontier — on skew, the expensive front — instead of
+  /// harvesting easy rewards from cheap chunks anywhere in the table,
+  /// which made UCT flip between leftmost tables and re-derive every
+  /// table's expensive region. <= 0 serves every incomplete chunk.
+  int claim_window_per_worker = 2;
   /// Warm start (PreparedCache): seed the UCT tree's priors along this
   /// join order — typically the final order the signature's last execution
   /// converged to — before the first slice. The hinted path starts as the
@@ -96,6 +107,14 @@ struct SkinnerCStats {
   /// comparable to the traditional engines' counter (paper Tables 1/2).
   uint64_t intermediate_tuples = 0;
   bool timed_out = false;
+  /// Adaptive chunk splits performed on the shared progress board (chunk
+  /// stealing only): skew-dominated leftmost chunks subdivided so the
+  /// endgame keeps every worker busy.
+  uint64_t chunk_splits = 0;
+  /// Sum of every worker's private clock (T>1; equals the join cost at
+  /// T=1). busy / (T * join cost) is parallel efficiency: the gap to 1 is
+  /// workers idling at slice barriers while a straggler finishes.
+  uint64_t worker_busy_cost = 0;
   std::vector<int> final_order;
   /// Sampled (slice, materialized UCT nodes) pairs; trace only.
   std::vector<std::pair<uint64_t, size_t>> tree_growth;
@@ -178,6 +197,15 @@ class SkinnerCEngine {
   void RunWorkerSlice(Worker* w, const std::vector<int>& order);
 
   // ---- Chunk-stealing path (default for T > 1) ----
+
+  /// Adaptive chunk splitting (the skew endgame): when the slice's
+  /// leftmost table has fewer incomplete chunks than workers, repeatedly
+  /// split the hottest splittable chunk — heat is the steps workers spent
+  /// in it, the signal that one chunk is eating the budget — until every
+  /// worker can hold a chunk or nothing splittable remains. Runs at the
+  /// slice barrier (workers parked), the only point where board mutation
+  /// is legal.
+  void AdaptiveSplit(int leftmost_table);
 
   /// Rebuilds the per-slice work list: the still-incomplete chunks of
   /// `order`'s leftmost table, cut into contiguous per-worker blocks.

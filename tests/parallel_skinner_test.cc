@@ -182,6 +182,67 @@ TEST(SkewedStealingTest, RepeatedRunsStayBitIdentical) {
   }
 }
 
+// The SIMD tier must never be observable in results: {scalar, vector
+// batch probing} x {1, 4 threads} all export the identical canonical
+// tuple set. (On machines without AVX2 the forced-kAvx2 leg degrades to
+// scalar and the comparison is trivially true — still worth running, it
+// pins the dispatch override path.)
+TEST(SkewedStealingTest, SimdOnAndOffStayBitIdentical) {
+  Database db;
+  BuildSkewedDb(&db, 4, /*hot_keys=*/4, /*hot_fanout=*/4, /*tail_rows=*/70);
+  const std::string sql = SkewedChainSql(4);
+
+  ForceSimdLevel(SimdLevel::kScalar);
+  RunOutput scalar_base = RunSkinnerC(&db, sql, 1, 7);
+  ASSERT_GT(scalar_base.result_tuples, 0u);
+  RunOutput scalar_par = RunSkinnerC(&db, sql, 4, 7);
+
+  ForceSimdLevel(SimdLevel::kAvx2);
+  RunOutput simd_base = RunSkinnerC(&db, sql, 1, 7);
+  RunOutput simd_par = RunSkinnerC(&db, sql, 4, 7);
+  ResetSimdLevel();
+
+  EXPECT_EQ(scalar_base.tuples, scalar_par.tuples);
+  EXPECT_EQ(scalar_base.tuples, simd_base.tuples);
+  EXPECT_EQ(scalar_base.tuples, simd_par.tuples);
+  EXPECT_EQ(scalar_base.result_tuples, simd_par.result_tuples);
+}
+
+// The frontier claim window is a scheduling policy, never a correctness
+// lever: any window size (including 0 = serve every incomplete chunk)
+// must export the identical canonical tuple set.
+TEST(SkewedStealingTest, ClaimWindowSizesAgreeBitIdentical) {
+  Database db;
+  BuildSkewedDb(&db, 4, /*hot_keys=*/4, /*hot_fanout=*/4, /*tail_rows=*/70);
+  const std::string sql = SkewedChainSql(4);
+
+  auto run = [&](int threads, int window) {
+    auto bound = db.Bind(sql);
+    EXPECT_TRUE(bound.ok());
+    auto info = QueryInfo::Analyze(*bound.value());
+    VirtualClock clock;
+    auto pq = PreparedQuery::Prepare(bound.value().get(), &info.value(),
+                                     db.catalog()->string_pool(), &clock, {});
+    EXPECT_TRUE(pq.ok());
+    SkinnerCOptions opts;
+    opts.num_threads = threads;
+    opts.slice_budget = 9;
+    opts.parallel_mode = ParallelMode::kChunkStealing;
+    opts.claim_window_per_worker = window;
+    SkinnerCEngine engine(pq.value().get(), opts);
+    ResultSet rs(pq.value()->num_tables());
+    EXPECT_TRUE(engine.Run(&rs).ok());
+    return rs.ToVector();
+  };
+
+  const std::vector<PosTuple> base = run(1, 2);
+  ASSERT_GT(base.size(), 0u);
+  for (int window : {0, 1, 2, 8}) {
+    EXPECT_EQ(base, run(4, window)) << "window=" << window;
+    EXPECT_EQ(base, run(2, window)) << "window=" << window;
+  }
+}
+
 // Random SPJ databases (the cross-engine property harness) under thread
 // counts 1/2/8: counts agree with the single-threaded engine through the
 // full Database API, including post-processing.

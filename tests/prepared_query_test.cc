@@ -139,10 +139,11 @@ TEST_F(PreparedQueryTest, PreprocessCostCharged) {
   EXPECT_GE(clock_.now(), before + p.pq->preprocess_cost());
 }
 
-TEST(HashIndexBytesTest, BuildReleasesTheStagingVectorExactly) {
-  // bytes() promises the *exact* heap footprint. Build() clears the
-  // staging vector, but a clear keeps its capacity alive — only the swap
-  // release guarantees the frozen index stops being charged for scratch.
+TEST(HashIndexBytesTest, BuildReleasesTheStagingBlocksExactly) {
+  // bytes() promises the *exact* heap footprint. Before Build() the
+  // staging blocks dominate; Build() releases them, so the frozen index is
+  // charged for exactly the probe table, the tag array (capacity plus one
+  // mirrored group), and the postings arena.
   constexpr size_t kPairs = 1000;
   constexpr size_t kStagedPairBytes = sizeof(std::pair<uint64_t, int32_t>);
   HashIndex idx;
@@ -153,13 +154,17 @@ TEST(HashIndexBytesTest, BuildReleasesTheStagingVectorExactly) {
 
   idx.Build();
   // Frozen layout: a power-of-two slot table at <= 50% load over the
-  // staged pair count, plus one arena int per staged pair — and zero
-  // staging bytes. Slot = {uint64 key, uint32 offset, uint32 len}.
+  // staged pair count, one tag byte per slot plus the wraparound mirror,
+  // plus one arena int per staged pair — and zero staging bytes.
+  // Slot = {uint64 key, uint32 offset, uint32 len}.
   size_t cap = 16;
   while (cap < kPairs * 2) cap <<= 1;
   constexpr size_t kSlotBytes = sizeof(uint64_t) + 2 * sizeof(uint32_t);
-  EXPECT_EQ(idx.bytes(), cap * kSlotBytes + kPairs * sizeof(int32_t));
+  EXPECT_EQ(idx.bytes(), cap * kSlotBytes +
+                             (cap + HashIndex::kGroupWidth) * sizeof(uint8_t) +
+                             kPairs * sizeof(int32_t));
   EXPECT_EQ(idx.num_keys(), 100u);
+  EXPECT_EQ(idx.num_slots(), cap);
 }
 
 TEST(HashIndexBytesTest, EmptyBuildHoldsNoHeap) {

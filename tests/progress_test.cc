@@ -239,5 +239,124 @@ TEST(SharedProgressTest, ConcurrentPublicationStaysMonotone) {
   EXPECT_TRUE(sp.TableComplete(0));
 }
 
+// ---- Chunk-sizing edge cases (satellite): every table, including 0-row
+// and tiny ones, must yield exactly one valid chunk — never zero chunks
+// and never a divide-by-zero while sizing. ----
+
+TEST(SharedProgressTest, ZeroRowTableYieldsOneBornCompleteChunk) {
+  SharedProgress sp({0}, 1, 4, 16);
+  ASSERT_EQ(sp.num_chunks(0), 1);
+  EXPECT_EQ(sp.chunk_lo(0, 0), 0);
+  EXPECT_EQ(sp.chunk_hi(0, 0), 0);
+  EXPECT_TRUE(sp.ChunkComplete(0, 0));  // [0, 0) has nothing left to join
+  EXPECT_TRUE(sp.TableComplete(0));
+  EXPECT_EQ(sp.IncompleteChunks(0), 0);
+  EXPECT_EQ(sp.CompletedPrefix(0), 0);
+  EXPECT_EQ(sp.views()[0].SkipCompleted(0), 0);
+  EXPECT_EQ(sp.SplitChunk(0, 0), -1);  // nothing to subdivide
+}
+
+TEST(SharedProgressTest, TinyTablesYieldExactlyOneChunk) {
+  SharedProgress sp({1, 3, 15}, 3, 4, 16);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_EQ(sp.num_chunks(t), 1) << "table " << t;
+    EXPECT_EQ(sp.chunk_lo(t, 0), 0);
+    EXPECT_FALSE(sp.TableComplete(t));
+    EXPECT_EQ(sp.IncompleteChunks(t), 1);
+  }
+  EXPECT_EQ(sp.chunk_hi(0, 0), 1);
+  EXPECT_EQ(sp.chunk_hi(1, 0), 3);
+  EXPECT_EQ(sp.chunk_hi(2, 0), 15);
+  sp.Publish(1, 0, 3);
+  EXPECT_TRUE(sp.TableComplete(1));
+  EXPECT_TRUE(sp.AnyTableComplete());
+}
+
+// ---- Adaptive splitting on the ragged board. ----
+
+TEST(SharedProgressTest, SplitChunkSubdividesTheRemainingRange) {
+  SharedProgress sp({100}, 1, 4, 16);  // chunks [0,25) [25,50) [50,75) [75,100)
+  ProgressTree* parent_tree = sp.chunk_progress(0, 0);
+
+  // Split an untouched chunk: midpoint of [0, 25).
+  int child = sp.SplitChunk(0, 0);
+  ASSERT_EQ(child, 4);  // fresh ids append
+  EXPECT_EQ(sp.num_chunks(0), 5);
+  EXPECT_EQ(sp.chunk_lo(0, 0), 0);
+  EXPECT_EQ(sp.chunk_hi(0, 0), 12);
+  EXPECT_EQ(sp.chunk_lo(0, child), 12);
+  EXPECT_EQ(sp.chunk_hi(0, child), 25);
+  EXPECT_EQ(sp.chunk_offset(0, child), 12);  // nothing done yet
+  EXPECT_EQ(sp.num_splits(), 1u);
+  EXPECT_EQ(sp.IncompleteChunks(0), 5);
+  // The parent keeps its suspended-state tree (still valid: stored states
+  // sit below the published offset, which is below the split point); the
+  // child starts fresh.
+  EXPECT_EQ(sp.chunk_progress(0, 0), parent_tree);
+  EXPECT_NE(sp.chunk_progress(0, child), nullptr);
+  EXPECT_NE(sp.chunk_progress(0, child), parent_tree);
+
+  // Split a partially completed chunk: midpoint of the REMAINING range.
+  sp.Publish(0, 1, 30);  // [25,50) done through 30
+  int child2 = sp.SplitChunk(0, 1);
+  ASSERT_EQ(child2, 5);
+  EXPECT_EQ(sp.chunk_hi(0, 1), 40);  // 30 + (50-30)/2
+  EXPECT_EQ(sp.chunk_lo(0, child2), 40);
+  EXPECT_EQ(sp.chunk_hi(0, child2), 50);
+  EXPECT_EQ(sp.chunk_offset(0, 1), 30);  // published work is untouched
+  EXPECT_EQ(sp.num_splits(), 2u);
+}
+
+TEST(SharedProgressTest, SplitChunkRefusesCompleteOrTinyRemainders) {
+  SharedProgress sp({100}, 1, 4, 16);
+  sp.Publish(0, 2, 75);  // complete
+  EXPECT_EQ(sp.SplitChunk(0, 2), -1);
+  sp.Publish(0, 1, 49);  // one position left
+  EXPECT_EQ(sp.SplitChunk(0, 1), -1);
+  sp.Publish(0, 3, 98);  // two positions left: the smallest splittable rest
+  EXPECT_EQ(sp.SplitChunk(0, 3), 4);
+  EXPECT_EQ(sp.chunk_hi(0, 3), 99);
+  EXPECT_EQ(sp.num_splits(), 1u);
+}
+
+TEST(SharedProgressTest, SplitChunkHalvesTheHeat) {
+  SharedProgress sp({100}, 1, 4, 16);
+  sp.AddChunkSteps(0, 0, 100);
+  int child = sp.SplitChunk(0, 0);
+  ASSERT_GE(child, 0);
+  EXPECT_EQ(sp.chunk_steps(0, 0), 50u);
+  EXPECT_EQ(sp.chunk_steps(0, child), 50u);
+}
+
+TEST(SharedProgressTest, RaggedViewStaysCoherentAfterSplits) {
+  SharedProgress sp({100}, 1, 4, 16);
+  int child = sp.SplitChunk(0, 0);  // [0,12) + [12,25)
+  ASSERT_EQ(child, 4);
+  const PublishedOffsets& view = sp.views()[0];
+
+  // Completions on both sides of the split seam chain through one skip.
+  sp.Publish(0, 0, 12);
+  sp.Publish(0, child, 20);
+  EXPECT_EQ(view.SkipCompleted(3), 20);
+  EXPECT_EQ(sp.CompletedPrefix(0), 20);
+  EXPECT_EQ(sp.IncompleteChunks(0), 4);
+
+  // Finishing the child and the next original chunk extends the prefix
+  // across the ragged boundaries.
+  sp.Publish(0, child, 25);
+  sp.Publish(0, 1, 50);
+  EXPECT_EQ(view.SkipCompleted(0), 50);
+  EXPECT_EQ(sp.CompletedPrefix(0), 50);
+
+  // Scattered completion beyond the prefix is still skippable mid-table.
+  sp.Publish(0, 3, 90);
+  EXPECT_EQ(view.SkipCompleted(80), 90);
+  EXPECT_EQ(view.SkipCompleted(95), 95);
+  sp.Publish(0, 2, 75);
+  sp.Publish(0, 3, 100);
+  EXPECT_TRUE(sp.TableComplete(0));
+  EXPECT_EQ(sp.IncompleteChunks(0), 0);
+}
+
 }  // namespace
 }  // namespace skinner
