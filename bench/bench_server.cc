@@ -1,0 +1,310 @@
+// skinner_serve throughput + admission benchmark (PR 8).
+//
+// A multi-session server multiplexes K clients onto one shared Database
+// through its one global Scheduler (src/server/). Three measurements:
+//
+//   1. Steady-state throughput: K sessions sweep a `?`-parameterized JOB
+//      template through the server protocol (P once, E per param set).
+//      As in bench_batch/bench_parallel_join, wall clock on shared
+//      runners is noise, so the gated metric is deterministic: per-query
+//      virtual costs from a sequential measurement session are
+//      list-scheduled onto 1 vs 4 workers, and the 4-worker virtual-cost
+//      makespan must be >= 2x better (acceptance). Real wall times of
+//      the concurrent run are informational.
+//   2. Bit-identity: every concurrent session's ROW lines must equal the
+//      single-client reference — SkinnerDB results never depend on the
+//      schedule (paper 4.4), and the server must not break that.
+//   3. Admission control: with the one worker blocked and the bounded
+//      queue full, further queries shed cleanly with ERR OVERLOADED and
+//      the queue never grows past its bound; the server recovers once
+//      the backlog drains.
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "benchgen/job.h"
+#include "benchgen/runner.h"
+#include "common/clock.h"
+#include "common/scheduler.h"
+#include "common/str_util.h"
+#include "server/server.h"
+
+using namespace skinner;
+using namespace skinner::bench;
+
+namespace {
+
+constexpr uint64_t kDeadline = 60'000'000;
+
+const char* kTemplate =
+    "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, kind_type kt "
+    "WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+    "t.kind_id = kt.id AND k.keyword = ? AND t.production_year > ?";
+
+struct Sweep {
+  const char* keyword;
+  int year;
+};
+
+const std::vector<Sweep>& SweepParams() {
+  static const std::vector<Sweep> sweep = {
+      {"kw_1", 1990},  {"kw_5", 2000}, {"kw_17", 1950}, {"kw_2", 1975},
+      {"kw_9", 1995},  {"kw_3", 2005}, {"blockbuster", 2000},
+      {"kw_29", 1960}, {"kw_11", 1985}, {"kw_7", 2010},  {"kw_13", 1940},
+      {"kw_1", 2000},
+  };
+  return sweep;
+}
+
+std::string ExecCommand(const Sweep& s) {
+  return std::string("E q '") + s.keyword + "' " + std::to_string(s.year);
+}
+
+/// The ROW lines of a response (the bit-identity fingerprint) and the
+/// virtual cost parsed from its terminal OK line; false on any ERR.
+bool ParseResponse(const std::string& text, std::string* rows,
+                   uint64_t* cost) {
+  rows->clear();
+  *cost = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.rfind("ROW", 0) == 0) {
+      rows->append(line);
+      rows->push_back('\n');
+      continue;
+    }
+    if (line.rfind("OK", 0) == 0) {
+      unsigned long long r = 0;
+      unsigned long long c = 0;
+      std::sscanf(line.c_str(), "OK rows=%llu cost=%llu", &r, &c);
+      *cost = c;
+      return true;
+    }
+    return false;  // ERR
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_server: multi-session server + global scheduler (PR 8)\n");
+
+  Database db;
+  JobSpec spec;
+  spec.num_titles = 3000;
+  if (!GenerateJob(&db, spec).ok()) {
+    std::fprintf(stderr, "JOB generation failed\n");
+    return 1;
+  }
+
+  ServerOptions sopts;
+  sopts.defaults.engine = EngineKind::kSkinnerC;
+  sopts.defaults.deadline = kDeadline;
+  sopts.defaults.use_prepared_cache = true;
+  ServerCore core(&db, sopts);
+
+  const std::vector<Sweep>& sweep = SweepParams();
+  constexpr int kRepeats = 2;
+  constexpr int kSessions = 4;
+
+  // ---- Measurement session: deterministic per-query costs -----------
+  // One warmup execution pays the template's parameter-independent
+  // pre-processing (the big movie_keyword artifact); the counted sweep
+  // then measures steady-state per-query costs — what every additional
+  // server query costs once the cache is warm.
+  auto measure = core.Connect();
+  if (!measure.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  {
+    ServerResponse r = measure.value()->HandleLine(
+        std::string("P q ") + kTemplate);
+    if (r.text.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "prepare failed: %s", r.text.c_str());
+      return 1;
+    }
+    std::string rows;
+    uint64_t cost = 0;
+    ServerResponse warm =
+        measure.value()->HandleLine(ExecCommand(sweep.front()));
+    if (!ParseResponse(warm.text, &rows, &cost)) {
+      std::fprintf(stderr, "warmup failed: %s", warm.text.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> reference;  // per query index: ROW lines
+  std::vector<uint64_t> costs;
+  uint64_t seq_total = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const Sweep& s : sweep) {
+      ServerResponse r = measure.value()->HandleLine(ExecCommand(s));
+      std::string rows;
+      uint64_t cost = 0;
+      if (!ParseResponse(r.text, &rows, &cost)) {
+        std::fprintf(stderr, "measurement query failed: %s", r.text.c_str());
+        return 1;
+      }
+      reference.push_back(rows);
+      costs.push_back(cost);
+      seq_total += cost;
+    }
+  }
+
+  // 4-worker virtual-cost makespan (list scheduling, as bench_batch).
+  uint64_t load[kSessions] = {0};
+  for (uint64_t c : costs) {
+    uint64_t* slot = &load[0];
+    for (uint64_t& l : load) {
+      if (l < *slot) slot = &l;
+    }
+    *slot += c;
+  }
+  const uint64_t par_makespan = *std::max_element(load, load + kSessions);
+  const double cost_speedup =
+      static_cast<double>(seq_total) /
+      static_cast<double>(std::max<uint64_t>(par_makespan, 1));
+
+  // ---- Concurrent sessions: wall clock + bit-identity ----------------
+  std::vector<std::unique_ptr<ServerConnection>> conns;
+  for (int i = 0; i < kSessions; ++i) {
+    auto c = core.Connect();
+    if (!c.ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      return 1;
+    }
+    conns.push_back(c.MoveValue());
+  }
+  std::vector<int> mismatches(kSessions, 0);
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      ServerConnection* conn = conns[static_cast<size_t>(i)].get();
+      ServerResponse p = conn->HandleLine(std::string("P q ") + kTemplate);
+      if (p.text.rfind("OK", 0) != 0) {
+        ++mismatches[static_cast<size_t>(i)];
+        return;
+      }
+      size_t qi = 0;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (const Sweep& s : sweep) {
+          ServerResponse r = conn->HandleLine(ExecCommand(s));
+          std::string rows;
+          uint64_t cost = 0;
+          if (!ParseResponse(r.text, &rows, &cost) ||
+              rows != reference[qi]) {
+            ++mismatches[static_cast<size_t>(i)];
+          }
+          ++qi;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_4 = watch.ElapsedMillis();
+
+  int total_mismatches = 0;
+  for (int m : mismatches) total_mismatches += m;
+  if (total_mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d responses differ from the single-client "
+                 "reference\n",
+                 total_mismatches);
+    return 1;
+  }
+
+  TablePrinter table({"Sessions", "Queries", "Virtual makespan",
+                      "Cost speedup"});
+  table.AddRow({"1", std::to_string(costs.size()), FormatCount(seq_total),
+                "1.00"});
+  table.AddRow({std::to_string(kSessions),
+                std::to_string(costs.size() * kSessions),
+                FormatCount(par_makespan), StrFormat("%.2f", cost_speedup)});
+  table.Print();
+  std::printf("Concurrent wall: %d sessions x %zu queries in %.1f ms, all "
+              "bit-identical to the single-client reference\n",
+              kSessions, costs.size(), wall_4);
+
+  // ---- Admission control: bounded queue sheds, then recovers ---------
+  SchedulerOptions tight;
+  tight.num_workers = 1;
+  tight.max_queue_depth = 8;
+  Database small(tight);
+  if (!small.Execute("CREATE TABLE s (v INT)").ok() ||
+      !small.Execute("INSERT INTO s VALUES (1), (2), (3)").ok()) {
+    std::fprintf(stderr, "small db setup failed\n");
+    return 1;
+  }
+  ServerCore core2(&small);
+  auto conn2 = core2.Connect();
+  if (!conn2.ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto blocker = small.scheduler()->Submit(1000, [open] { open.wait(); });
+  if (!blocker.ok()) {
+    std::fprintf(stderr, "blocker submit failed\n");
+    return 1;
+  }
+  while (small.scheduler()->stats().active == 0) std::this_thread::yield();
+  for (size_t i = 0; i < tight.max_queue_depth; ++i) {
+    if (!small.scheduler()->Submit(1000, [] {}).ok()) {
+      std::fprintf(stderr, "queue fill shed unexpectedly\n");
+      return 1;
+    }
+  }
+
+  constexpr int kOverloadAttempts = 5;
+  int shed = 0;
+  for (int i = 0; i < kOverloadAttempts; ++i) {
+    ServerResponse r = conn2.value()->HandleLine("Q SELECT COUNT(*) FROM s");
+    if (r.text.rfind("ERR OVERLOADED", 0) == 0) ++shed;
+  }
+  const size_t peak_queue = small.scheduler()->stats().peak_queue_depth;
+  gate.set_value();
+  blocker.value().Wait();
+
+  // Recovery: once the backlog drains, the same connection's queries run.
+  ServerResponse recovered =
+      conn2.value()->HandleLine("Q SELECT COUNT(*) FROM s");
+  const bool recovered_ok = recovered.text.rfind("ROW 3", 0) == 0;
+
+  std::printf("Overload: %d/%d queries shed with ERR OVERLOADED at queue "
+              "bound %zu (peak %zu); recovered after drain: %s\n",
+              shed, kOverloadAttempts, tight.max_queue_depth, peak_queue,
+              recovered_ok ? "yes" : "no");
+  if (shed != kOverloadAttempts || peak_queue > tight.max_queue_depth ||
+      !recovered_ok) {
+    std::fprintf(stderr, "FAIL: admission control misbehaved\n");
+    return 1;
+  }
+
+  std::printf("\nShape check: the 4-session virtual-cost makespan should be "
+              ">= 2x better than\nsequential; overload must shed every "
+              "attempt at the bound and recover after.\n");
+
+  std::printf("RESULT bench_server server_cost_speedup_4_over_1=%.2f "
+              "server_seq_total_cost=%llu\n",
+              cost_speedup, static_cast<unsigned long long>(seq_total));
+  std::printf("RESULT bench_server overload_shed=%d overload_peak_queue=%zu "
+              "bitwise_identical=%d\n",
+              shed, peak_queue, total_mismatches == 0 ? 1 : 0);
+  std::printf("RESULT bench_server server_wall_ms_%dsessions=%.1f\n",
+              kSessions, wall_4);
+  return 0;
+}

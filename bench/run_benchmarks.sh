@@ -92,6 +92,8 @@ extract_metrics() {
 ALL_BENCHES=(
   bench_trivial
   bench_batch
+  bench_prepared
+  bench_server
   bench_convergence
   bench_learning_vs_random
   bench_order_quality

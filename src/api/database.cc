@@ -9,7 +9,7 @@
 #include "api/session.h"
 #include "common/clock.h"
 #include "common/hash_util.h"
-#include "common/parallel.h"
+#include "common/scheduler.h"
 #include "optimizer/dp_optimizer.h"
 
 namespace skinner {
@@ -28,8 +28,11 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
-Database::Database()
-    : default_session_(new Session(this, /*id=*/0, ExecOptions{})) {}
+Database::Database() : Database(SchedulerOptions{}) {}
+
+Database::Database(const SchedulerOptions& scheduler_opts)
+    : scheduler_(new Scheduler(scheduler_opts)),
+      default_session_(new Session(this, /*id=*/0, ExecOptions{})) {}
 
 Database::~Database() = default;
 
@@ -39,6 +42,9 @@ std::unique_ptr<Session> Database::CreateSession(const ExecOptions& defaults) {
 }
 
 Status Database::Execute(const std::string& sql) {
+  // Exclusive: catalog mutation and row appends wait for running queries
+  // (shared holders) and block new ones until done.
+  std::unique_lock<std::shared_mutex> ddl_lock(ddl_mu_);
   SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
   switch (stmt.kind) {
     case Statement::Kind::kCreateTable: {
@@ -83,7 +89,9 @@ Status Database::Execute(const std::string& sql) {
 }
 
 Result<std::unique_ptr<BoundQuery>> Database::Bind(const std::string& sql) {
-  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_,
+                         scheduler_.get());
   SKINNER_ASSIGN_OR_RETURN(Statement stmt, pipeline.Parse(sql));
   SKINNER_ASSIGN_OR_RETURN(BoundStage bound, pipeline.Bind(std::move(stmt)));
   return std::move(bound.query);
@@ -95,6 +103,7 @@ Result<QueryOutput> Database::Query(const std::string& sql,
 }
 
 Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
   SKINNER_ASSIGN_OR_RETURN(QueryInfo info, QueryInfo::Analyze(query));
   Estimator estimator(&stats_);
   return OptimizeWithEstimates(info, query, &estimator);
@@ -102,7 +111,9 @@ Result<PlanResult> Database::OptimizerOrder(const BoundQuery& query) {
 
 Result<QueryOutput> Database::RunSelect(const BoundQuery& query,
                                         const ExecOptions& opts) {
-  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_);
+  std::shared_lock<std::shared_mutex> ddl_lock(ddl_mu_);
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, &cache_,
+                         scheduler_.get());
   SKINNER_ASSIGN_OR_RETURN(PreparedStage prep,
                            pipeline.PrepareExternal(&query, opts));
   SKINNER_ASSIGN_OR_RETURN(ExecutedStage exec, pipeline.Execute(prep, opts));
@@ -123,7 +134,9 @@ std::vector<Result<QueryOutput>> Database::QueryBatchInternal(
   // owner's handle directly in stage C.)
   PreparedCache local_cache;
   PreparedCache* cache = bopts.use_prepared_cache ? &cache_ : &local_cache;
-  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, cache);
+  Scheduler* sched =
+      bopts.scheduler != nullptr ? bopts.scheduler : scheduler_.get();
+  QueryPipeline pipeline(&catalog_, &udfs_, &stats_, cache, sched);
 
   std::vector<std::optional<Result<QueryOutput>>> results(n);
   std::vector<std::optional<BoundStage>> bound(n);
@@ -182,9 +195,11 @@ std::vector<Result<QueryOutput>> Database::QueryBatchInternal(
 
   // Stage B (parallel): one prepare per group, run by the owner. Groups
   // are distinct map entries, so concurrent writes to their fields are
-  // race-free (the map's structure is frozen after stage A).
+  // race-free (the map's structure is frozen after stage A). Workers are
+  // participation slots on the database's shared pool — nothing is spun up
+  // per call, and concurrent batches share one set of threads.
   std::vector<std::optional<PreparedStage>> prepared(n);
-  ParallelFor(owner_keys.size(), workers, [&](size_t g) {
+  SchedParallelFor(sched, owner_keys.size(), workers, [&](size_t g) {
     Group& group = groups.find(*owner_keys[g])->second;
     const size_t i = group.owner;
     auto prep = pipeline.Prepare(std::move(*bound[i]), eopts[i]);
@@ -199,7 +214,7 @@ std::vector<Result<QueryOutput>> Database::QueryBatchInternal(
   // Stage C (parallel): execute + post-process every item. Members bind
   // directly to their owner's artifact handle — no cache round-trip, so
   // sharing cannot be broken by LRU eviction inside large batches.
-  ParallelFor(n, workers, [&](size_t i) {
+  SchedParallelFor(sched, n, workers, [&](size_t i) {
     if (results[i].has_value()) return;  // parse/bind/prepare error
     if (!prepared[i].has_value()) {
       const Group& group = groups.find(item_key[i])->second;

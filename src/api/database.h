@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,9 @@
 #include "stats/estimator.h"
 
 namespace skinner {
+
+class Scheduler;
+struct SchedulerOptions;
 
 /// Query evaluation strategies available through the public API.
 enum class EngineKind {
@@ -80,6 +84,18 @@ struct ExecOptions {
   uint64_t seed = 42;
   /// Global virtual-clock deadline (units); censors runaway executions.
   uint64_t deadline = UINT64_MAX;
+
+  /// Worker pool override for this execution's parallel work (parallel
+  /// pre-processing, Skinner-C thread leasing). Null: the database's own
+  /// scheduler — the right choice for everything but tests that need an
+  /// isolated pool. Results never depend on the pool used.
+  Scheduler* scheduler = nullptr;
+  /// Serve reads from the PreparedCache but never publish new artifacts or
+  /// bundles into it (warm-start orders are still recorded — they are a
+  /// few ints). The server flips this once a session exhausts its cache
+  /// byte-share quota, so one greedy session cannot evict everyone else's
+  /// artifacts; results are unchanged, repeated work just stays unshared.
+  bool cache_read_only = false;
 };
 
 /// Everything measured about one query execution.
@@ -100,6 +116,10 @@ struct ExecutionStats {
   /// cached artifact vs were re-prepared for this execution.
   int tables_prepared_from_cache = 0;
   int tables_reprepared = 0;
+  /// Bytes of freshly built artifacts this execution published into the
+  /// PreparedCache (0 on hits and under ExecOptions::cache_read_only);
+  /// what the server charges against a session's cache byte share.
+  uint64_t cache_bytes_published = 0;
   uint64_t join_result_tuples = 0;
   /// Accumulated intermediate result cardinality actually produced (the
   /// engine-independent optimizer-quality metric of paper Tables 1/2).
@@ -152,6 +172,10 @@ struct BatchOptions {
   /// false, every item keeps its own ExecOptions::seed.
   bool derive_item_seeds = true;
   uint64_t seed = 42;
+  /// Worker pool override (see ExecOptions::scheduler). Null: the
+  /// database's scheduler. Batch workers are pool participation slots, not
+  /// dedicated threads — no per-call pool is ever spun up.
+  Scheduler* scheduler = nullptr;
 };
 
 class Session;
@@ -171,6 +195,11 @@ class Session;
 class Database {
  public:
   Database();
+  /// Constructs the database with explicit worker-pool options (admission
+  /// bounds, worker count, engine thread budget) — what skinner_serve uses
+  /// to size its one global scheduler. The default constructor uses
+  /// SchedulerOptions{} (see common/scheduler.h for the defaults).
+  explicit Database(const SchedulerOptions& scheduler_opts);
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -183,6 +212,12 @@ class Database {
   /// ExecOptions::use_prepared_cache / BatchOptions ask for it, and always
   /// by PreparedStatement executions (per-table artifacts).
   PreparedCache* prepared_cache() { return &cache_; }
+
+  /// The database's global worker pool (common/scheduler.h): every piece
+  /// of parallel work under this database — batch execution, parallel
+  /// pre-processing, Skinner-C thread leasing — runs on it, and a server
+  /// submits whole queries through it for fairness and admission control.
+  Scheduler* scheduler() const { return scheduler_.get(); }
 
   /// Creates a per-client session handle (unique id >= 1; folded into
   /// seed derivation so concurrent clients with identical options explore
@@ -225,6 +260,7 @@ class Database {
 
  private:
   friend class Session;
+  friend class PreparedStatement;
 
   /// The batch engine Session::QueryBatch runs on (seed already derived).
   std::vector<Result<QueryOutput>> QueryBatchInternal(
@@ -234,6 +270,16 @@ class Database {
   UdfRegistry udfs_;
   StatsManager stats_;
   PreparedCache cache_;
+  std::unique_ptr<Scheduler> scheduler_;  // constructed in database.cc
+  /// DDL-vs-query serialization: Execute() (CREATE/DROP/INSERT mutate the
+  /// catalog and table data) takes this exclusively; every query path
+  /// (Session::Query/QueryBatch/Prepare/ExecuteBatch, statement Execute,
+  /// Bind/RunSelect/OptimizerOrder) holds it shared for its whole run.
+  /// Queries of any number of sessions therefore run fully concurrently,
+  /// while a DROP waits for the readers of the table to finish instead of
+  /// pulling Table storage out from under them — concurrent DDL yields a
+  /// clean Status (stale statement / no such table), never a race.
+  mutable std::shared_mutex ddl_mu_;
   std::atomic<uint64_t> next_session_id_{1};
   std::unique_ptr<Session> default_session_;  // constructed in database.cc
 };

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <utility>
 
 #include "api/query_pipeline.h"
 #include "common/hash_util.h"
-#include "common/parallel.h"
+#include "common/scheduler.h"
 #include "common/str_util.h"
 
 namespace skinner {
@@ -183,6 +184,22 @@ Result<PreparedStage> PreparedStatement::PrepareStage(
     const std::string key = TableArtifactKey(template_sig_, t,
                                              opts.build_hash_indexes, values);
     const TableStamp stamp{table->id(), table->data_version()};
+    if (opts.cache_read_only) {
+      // Quota-throttled: serve hits, build misses privately, publish
+      // nothing (no shared-budget bytes charged to this session).
+      PreparedCache::TableArtifactPtr hit = cache->LookupTable(key, stamp);
+      if (hit != nullptr) {
+        reuse[static_cast<size_t>(t)] = std::move(hit);
+        ++stage.tables_from_cache;
+        continue;
+      }
+      std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
+          table_ptrs, pool, *bundle->info, t, opts.build_hash_indexes);
+      built_cost += artifact->build_cost;
+      reuse[static_cast<size_t>(t)] = std::move(artifact);
+      ++stage.tables_reprepared;
+      continue;
+    }
     PreparedCache::TableClaim claim = cache->AcquireTable(key, stamp);
     if (claim.artifact != nullptr) {
       reuse[static_cast<size_t>(t)] = std::move(claim.artifact);
@@ -192,6 +209,7 @@ Result<PreparedStage> PreparedStatement::PrepareStage(
     std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
         table_ptrs, pool, *bundle->info, t, opts.build_hash_indexes);
     cache->PublishTable(key, stamp, artifact);
+    stage.cache_bytes_published += artifact->bytes();
     built_cost += artifact->build_cost;
     reuse[static_cast<size_t>(t)] = std::move(artifact);
     ++stage.tables_reprepared;
@@ -230,14 +248,16 @@ Result<QueryOutput> PreparedStatement::Execute(const std::vector<Value>& params,
   // use_prepared_cache additionally lets the execute stage record the
   // final join order under the template signature.
   eopts.use_prepared_cache = true;
+  std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
-                         db_->prepared_cache());
+                         db_->prepared_cache(), db_->scheduler());
   auto run = [&]() -> Result<QueryOutput> {
     SKINNER_ASSIGN_OR_RETURN(PreparedStage stage, PrepareStage(params, eopts));
     SKINNER_ASSIGN_OR_RETURN(ExecutedStage exec, pipeline.Execute(stage, eopts));
     return pipeline.PostProcess(stage, std::move(exec));
   };
   Result<QueryOutput> out = run();
+  ddl_lock.unlock();
   session_->Roll(out);
   return out;
 }
@@ -246,8 +266,10 @@ std::vector<Result<QueryOutput>> PreparedStatement::ExecuteMany(
     const std::vector<std::vector<Value>>& param_sets,
     const BatchOptions& bopts, const ExecOptions& base_opts) {
   const size_t n = param_sets.size();
+  Scheduler* sched =
+      bopts.scheduler != nullptr ? bopts.scheduler : db_->scheduler();
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
-                         db_->prepared_cache());
+                         db_->prepared_cache(), sched);
 
   // The warm-start hint is snapshotted once, before anything executes, so
   // which hint every item sees — and therefore every item's result and
@@ -286,11 +308,12 @@ std::vector<Result<QueryOutput>> PreparedStatement::ExecuteMany(
     }
   }
 
-  // Stage B (parallel): execute + post-process every param set.
+  // Stage B (parallel): execute + post-process every param set, on the
+  // shared pool (participation slots, not per-call threads).
   const int workers = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(std::max(bopts.num_workers, 1)),
                        std::max<size_t>(n, 1)));
-  ParallelFor(n, workers, [&](size_t i) {
+  SchedParallelFor(sched, n, workers, [&](size_t i) {
     if (results[i].has_value()) return;  // prepare error
     auto exec = pipeline.Execute(*stages[i], eopts[i]);
     if (!exec.ok()) {

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/scheduler.h"
 #include "optimizer/dp_optimizer.h"
 
 namespace skinner {
 
 QueryPipeline::QueryPipeline(Catalog* catalog, const UdfRegistry* udfs,
-                             StatsManager* stats, PreparedCache* cache)
-    : catalog_(catalog), udfs_(udfs), stats_(stats), cache_(cache) {}
+                             StatsManager* stats, PreparedCache* cache,
+                             Scheduler* scheduler)
+    : catalog_(catalog),
+      udfs_(udfs),
+      stats_(stats),
+      cache_(cache),
+      scheduler_(scheduler) {}
 
 Result<Statement> QueryPipeline::Parse(const std::string& sql) const {
   SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
@@ -56,6 +62,7 @@ Result<PreparedStage> QueryPipeline::PrepareFresh(
   popts.build_hash_indexes = opts.build_hash_indexes;
   popts.parallel = opts.parallel_preprocess;
   popts.num_threads = opts.num_threads;
+  popts.scheduler = EffectiveScheduler(opts);
   SKINNER_ASSIGN_OR_RETURN(
       stage.pq,
       PreparedQuery::Prepare(query, bundle->info.get(),
@@ -92,6 +99,27 @@ Result<PreparedStage> QueryPipeline::Prepare(BoundStage bound,
   std::string signature = ComputeQuerySignature(*bound.query);
   std::string key = PreparedCacheKey(signature, opts.build_hash_indexes);
   std::vector<TableStamp> stamps = ComputeTableStamps(*bound.query);
+  if (opts.cache_read_only) {
+    // Quota-throttled sessions: serve hits, but a miss prepares privately
+    // — no claim, no publish, no bytes charged to the shared budget.
+    PreparedHandle hit = cache_->Lookup(key, stamps);
+    if (hit != nullptr) {
+      PreparedStage stage = RebindStage(std::move(hit), signature);
+      std::vector<int> warm = cache_->WarmOrder(stage.signature);
+      stage.template_hit = !warm.empty();
+      if (opts.warm_start) stage.warm_order = std::move(warm);
+      return stage;
+    }
+    auto prep = PrepareFresh(std::move(bound.query), /*query=*/nullptr, opts);
+    if (!prep.ok()) return prep.status();
+    PreparedStage stage = prep.MoveValue();
+    stage.signature = std::move(signature);
+    stage.tables_reprepared = stage.pq->num_tables();
+    std::vector<int> warm = cache_->WarmOrder(stage.signature);
+    stage.template_hit = !warm.empty();
+    if (opts.warm_start) stage.warm_order = std::move(warm);
+    return stage;
+  }
   PreparedCache::BundleClaim claim = cache_->Acquire(key, stamps);
   if (claim.handle != nullptr) {
     PreparedStage stage = RebindStage(std::move(claim.handle), signature);
@@ -110,6 +138,9 @@ Result<PreparedStage> QueryPipeline::Prepare(BoundStage bound,
   PreparedStage stage = prep.MoveValue();
   stage.signature = std::move(signature);
   stage.tables_reprepared = stage.pq->num_tables();
+  if (stage.shared->data != nullptr) {
+    stage.cache_bytes_published = stage.shared->data->bytes();
+  }
   cache_->Publish(key, std::move(stamps), stage.shared);
   // A previous (since invalidated) execution of the template may still
   // have left a useful join order behind.
@@ -147,6 +178,7 @@ Result<ExecutedStage> QueryPipeline::Execute(const PreparedStage& prep,
       so.collect_trace = opts.collect_trace;
       so.num_threads = opts.skinner_threads;
       so.parallel_mode = opts.skinner_parallel_mode;
+      so.scheduler = EffectiveScheduler(opts);
       so.warm_start_order = prep.warm_order;
       SkinnerCEngine engine(pq, so);
       SKINNER_RETURN_IF_ERROR(engine.Run(&join_result));
@@ -261,6 +293,7 @@ Result<QueryOutput> QueryPipeline::PostProcess(const PreparedStage& prep,
   out.stats.template_signature_hit = prep.template_hit;
   out.stats.tables_prepared_from_cache = prep.tables_from_cache;
   out.stats.tables_reprepared = prep.tables_reprepared;
+  out.stats.cache_bytes_published = prep.cache_bytes_published;
   out.stats.join_result_tuples = exec.join_result->size();
   SKINNER_ASSIGN_OR_RETURN(out.result,
                            skinner::PostProcess(*prep.pq, *exec.join_result));

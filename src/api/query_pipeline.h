@@ -39,6 +39,9 @@ struct PreparedStage {
   /// the bundle path reports all-or-nothing).
   int tables_from_cache = 0;
   int tables_reprepared = 0;
+  /// Artifact bytes this prepare published into the cross-query cache
+  /// (0 on hits and when ExecOptions::cache_read_only withheld publishes).
+  uint64_t cache_bytes_published = 0;
 };
 
 /// Output of the execute stage: the join result in position space plus the
@@ -65,8 +68,13 @@ struct ExecutedStage {
 /// same database may run prepare/execute/post-process stages in parallel.
 class QueryPipeline {
  public:
+  /// `scheduler` hosts the pipeline's parallel work (parallel
+  /// pre-processing; Skinner-C worker-thread leases). Null runs all of it
+  /// inline/unleased — correct but unarbitrated; Database always passes
+  /// its own scheduler. Per-call ExecOptions::scheduler overrides it.
   QueryPipeline(Catalog* catalog, const UdfRegistry* udfs,
-                StatsManager* stats, PreparedCache* cache);
+                StatsManager* stats, PreparedCache* cache,
+                Scheduler* scheduler = nullptr);
 
   /// Stage 1: SQL text -> parsed statement (must be a SELECT).
   Result<Statement> Parse(const std::string& sql) const;
@@ -118,10 +126,15 @@ class QueryPipeline {
                                      const BoundQuery* query,
                                      const ExecOptions& opts) const;
 
+  Scheduler* EffectiveScheduler(const ExecOptions& opts) const {
+    return opts.scheduler != nullptr ? opts.scheduler : scheduler_;
+  }
+
   Catalog* catalog_;
   const UdfRegistry* udfs_;
   StatsManager* stats_;
-  PreparedCache* cache_;  // may be null: caching disabled
+  PreparedCache* cache_;   // may be null: caching disabled
+  Scheduler* scheduler_;   // may be null: inline parallel work
 };
 
 }  // namespace skinner

@@ -1,10 +1,12 @@
 #include "api/session.h"
 
+#include <shared_mutex>
 #include <utility>
 
 #include "api/prepared_statement.h"
 #include "api/query_pipeline.h"
 #include "common/hash_util.h"
+#include "common/scheduler.h"
 
 namespace skinner {
 
@@ -53,9 +55,13 @@ Result<QueryOutput> Session::Query(const std::string& sql,
                                    const ExecOptions& opts) {
   ExecOptions eopts = opts;
   eopts.seed = DeriveSeed(opts.seed);
+  // Shared: any number of sessions query concurrently; DDL (exclusive)
+  // waits for them and blocks new ones (see Database::ddl_mu_).
+  std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
-                         db_->prepared_cache());
+                         db_->prepared_cache(), db_->scheduler());
   Result<QueryOutput> out = pipeline.Run(sql, eopts);
+  ddl_lock.unlock();
   Roll(out);
   return out;
 }
@@ -65,6 +71,7 @@ std::vector<Result<QueryOutput>> Session::QueryBatch(
   BatchOptions bopts = opts;
   bopts.seed = DeriveSeed(opts.seed);
   std::vector<Result<QueryOutput>> results;
+  std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
   if (!bopts.derive_item_seeds && id_ != 0) {
     // Per-item seeds are kept, but the session id still folds in — two
     // sessions running the identical batch must explore independently.
@@ -74,14 +81,16 @@ std::vector<Result<QueryOutput>> Session::QueryBatch(
   } else {
     results = db_->QueryBatchInternal(items, bopts);
   }
+  ddl_lock.unlock();
   for (const auto& r : results) Roll(r);
   return results;
 }
 
 Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
     const std::string& sql) {
+  std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
-                         db_->prepared_cache());
+                         db_->prepared_cache(), db_->scheduler());
   SKINNER_ASSIGN_OR_RETURN(Statement stmt, pipeline.Parse(sql));
   SKINNER_ASSIGN_OR_RETURN(BoundStage bound, pipeline.Bind(std::move(stmt)));
   std::unique_ptr<PreparedStatement> handle(
@@ -96,8 +105,10 @@ std::vector<Result<QueryOutput>> Session::ExecuteBatch(
     const BatchOptions& opts) {
   BatchOptions bopts = opts;
   bopts.seed = DeriveSeed(opts.seed);
+  std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
   std::vector<Result<QueryOutput>> results =
       stmt->ExecuteMany(param_sets, bopts, defaults_);
+  ddl_lock.unlock();
   for (const auto& r : results) Roll(r);
   return results;
 }

@@ -49,12 +49,13 @@ struct SessionStats {
 /// api/prepared_statement.h).
 ///
 /// Thread-safety: a session may be used from one thread at a time (like a
-/// driver connection); distinct sessions over one Database may run
-/// queries concurrently, but anything that binds SQL or string parameters
-/// (Query, Prepare, Execute with string values) interns into the shared
-/// string pool and must be externally serialized across sessions — the
-/// same contract Database::Query always had. Stats roll-ups are
-/// internally locked (batch workers update them concurrently).
+/// driver connection); distinct sessions over one Database run queries,
+/// prepares, and statement executions fully concurrently — the string
+/// pool is internally locked, and every query path holds the database's
+/// DDL lock shared, so concurrent Database::Execute (CREATE/INSERT/DROP)
+/// serializes against running queries and fails cleanly (stale statement,
+/// unknown table) instead of racing them. Stats roll-ups are internally
+/// locked (batch workers update them concurrently).
 class Session {
  public:
   Session(const Session&) = delete;

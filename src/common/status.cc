@@ -15,10 +15,53 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kShuttingDown: return "ShuttingDown";
+    case StatusCode::kQuotaExceeded: return "QuotaExceeded";
   }
   return "Unknown";
 }
+
+struct TokenEntry {
+  StatusCode code;
+  const char* token;
+};
+
+// The wire-protocol compatibility contract: tokens are all-caps, short,
+// and never reused for a different code.
+constexpr TokenEntry kTokens[] = {
+    {StatusCode::kOk, "OK"},
+    {StatusCode::kInvalidArgument, "INVALID"},
+    {StatusCode::kNotFound, "NOT_FOUND"},
+    {StatusCode::kAlreadyExists, "EXISTS"},
+    {StatusCode::kParseError, "PARSE"},
+    {StatusCode::kBindError, "BIND"},
+    {StatusCode::kTypeError, "TYPE"},
+    {StatusCode::kIoError, "IO"},
+    {StatusCode::kUnsupported, "UNSUPPORTED"},
+    {StatusCode::kInternal, "INTERNAL"},
+    {StatusCode::kOverloaded, "OVERLOADED"},
+    {StatusCode::kShuttingDown, "SHUTDOWN"},
+    {StatusCode::kQuotaExceeded, "QUOTA"},
+};
 }  // namespace
+
+const char* StatusCodeToken(StatusCode code) {
+  for (const TokenEntry& e : kTokens) {
+    if (e.code == code) return e.token;
+  }
+  return "INTERNAL";
+}
+
+bool StatusCodeFromToken(std::string_view token, StatusCode* code) {
+  for (const TokenEntry& e : kTokens) {
+    if (token == e.token) {
+      *code = e.code;
+      return true;
+    }
+  }
+  return false;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -2,6 +2,7 @@
 #define SKINNER_COMMON_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -10,6 +11,12 @@ namespace skinner {
 /// Error codes used across the SkinnerDB API. Following the Arrow/RocksDB
 /// idiom, fallible operations return Status (or Result<T>) instead of
 /// throwing exceptions across library boundaries.
+///
+/// Every code has a stable short wire token (StatusCodeToken) that the
+/// skinner_serve text protocol reports verbatim (`ERR PARSE ...`,
+/// `ERR OVERLOADED ...`); the C++ API and the wire surface are the same
+/// enumerated set by construction. Add new codes at the end and give them
+/// a token — the token strings are a compatibility contract.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -21,7 +28,21 @@ enum class StatusCode {
   kIoError,
   kUnsupported,
   kInternal,
+  /// Admission control: the scheduler's bounded queue is full; the request
+  /// was shed, not queued. Retryable.
+  kOverloaded,
+  /// The server/scheduler is draining for shutdown; no new work admitted.
+  kShuttingDown,
+  /// A per-session quota (queued-query allowance, prepared-statement
+  /// count, ...) would be exceeded.
+  kQuotaExceeded,
 };
+
+/// The stable wire token of `code` ("OK", "PARSE", "OVERLOADED", ...).
+const char* StatusCodeToken(StatusCode code);
+
+/// Reverses StatusCodeToken. Returns false for an unknown token.
+bool StatusCodeFromToken(std::string_view token, StatusCode* code);
 
 /// Lightweight status object: either OK or a code plus a human-readable
 /// message. Cheap to copy in the OK case.
@@ -57,6 +78,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
+  static Status ShuttingDown(std::string m) {
+    return Status(StatusCode::kShuttingDown, std::move(m));
+  }
+  static Status QuotaExceeded(std::string m) {
+    return Status(StatusCode::kQuotaExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,7 +8,7 @@
 #endif
 
 #include "common/hash_util.h"
-#include "common/parallel.h"
+#include "common/scheduler.h"
 
 namespace skinner {
 
@@ -448,7 +448,8 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
     // Phase A: filter every fresh table in parallel.
     std::vector<std::shared_ptr<TableArtifact>> built(
         static_cast<size_t>(m));
-    ParallelFor(fresh.size(), opts.num_threads, [&](size_t i) {
+    SchedParallelFor(opts.scheduler, fresh.size(), opts.num_threads,
+                     [&](size_t i) {
       const int t = fresh[i];
       auto artifact = std::make_shared<TableArtifact>();
       auto [rows, cost] =
@@ -475,7 +476,8 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
         }
       }
     }
-    ParallelFor(jobs.size(), opts.num_threads, [&](size_t i) {
+    SchedParallelFor(opts.scheduler, jobs.size(), opts.num_threads,
+                     [&](size_t i) {
       IndexJob& job = jobs[i];
       auto [index, cost] = BuildColumnIndex(
           data->tables, job.t, job.col,

@@ -17,6 +17,8 @@
 
 namespace skinner {
 
+class Scheduler;
+
 /// Per-builder staging shard for HashIndex construction. Append-only
 /// (key, position) pairs stored in fixed-size heap blocks, so concurrent
 /// index builds (parallel pre-processing builds one index per worker at
@@ -287,6 +289,11 @@ struct PrepareOptions {
   /// parallelizes the pre-processing step only).
   bool parallel = false;
   int num_threads = 4;
+  /// Worker pool hosting the parallel build (common/scheduler.h); null
+  /// runs it inline on the calling thread. Either way the charged costs
+  /// and the artifact contents are identical — the pool only changes
+  /// wall-clock time.
+  Scheduler* scheduler = nullptr;
   /// Per-table artifacts to reuse instead of building (PreparedStatement /
   /// PreparedCache): when non-null and (*reuse)[t] is set, table t costs
   /// nothing and shares the given artifact; null slots build fresh. The

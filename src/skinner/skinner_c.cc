@@ -16,14 +16,29 @@ UctOptions MakeUctOptions(const SkinnerCOptions& opts) {
 /// Result-set shards for the parallel striped-lock Insert path. More
 /// stripes than typical worker counts keeps contention negligible.
 constexpr int kParallelShards = 16;
+
+ThreadLease MaybeLease(const SkinnerCOptions& opts) {
+  if (opts.scheduler == nullptr || opts.num_threads <= 1) return ThreadLease();
+  return opts.scheduler->LeaseThreads(opts.num_threads);
+}
+
+SkinnerCOptions ClampToLease(const SkinnerCOptions& opts,
+                             const ThreadLease& lease) {
+  SkinnerCOptions o = opts;
+  if (o.scheduler != nullptr && o.num_threads > 1) {
+    o.num_threads = std::max(1, lease.granted());
+  }
+  return o;
+}
 }  // namespace
 
 SkinnerCEngine::SkinnerCEngine(const PreparedQuery* pq,
                                const SkinnerCOptions& opts)
     : pq_(pq),
-      opts_(opts),
+      lease_(MaybeLease(opts)),
+      opts_(ClampToLease(opts, lease_)),
       uct_(&pq->info(), MakeUctOptions(opts)),
-      result_(pq->num_tables(), opts.num_threads > 1 ? kParallelShards : 1) {
+      result_(pq->num_tables(), opts_.num_threads > 1 ? kParallelShards : 1) {
   if (opts_.warm_start_order.size() ==
       static_cast<size_t>(pq->num_tables())) {
     uct_.SeedPriors(opts_.warm_start_order, opts_.warm_start_visits,

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/scheduler.h"
 #include "engine/multiway_join.h"
 #include "exec/result_set.h"
 #include "skinner/progress.h"
@@ -96,6 +97,14 @@ struct SkinnerCOptions {
   /// dominate quickly.
   int64_t warm_start_visits = 2;
   double warm_start_reward = 1e-3;
+  /// Global thread arbitration: with a scheduler and num_threads > 1, the
+  /// engine leases its worker count from the scheduler's engine-thread
+  /// budget and runs with the granted number (>= 1) — under concurrent
+  /// load an engine degrades to fewer workers instead of oversubscribing
+  /// the machine. Results are bit-identical for any granted count (the
+  /// num_threads invariance above), so arbitration changes latency only.
+  /// Null keeps num_threads as requested.
+  Scheduler* scheduler = nullptr;
 };
 
 struct SkinnerCStats {
@@ -256,6 +265,9 @@ class SkinnerCEngine {
   void WorkerMain(Worker* w);
 
   const PreparedQuery* pq_;
+  /// Declared before opts_: the lease is taken first and opts_ is the
+  /// options clamped to its grant (member init order is declaration order).
+  ThreadLease lease_;
   SkinnerCOptions opts_;
   JoinOrderUct uct_;
   ResultSet result_;

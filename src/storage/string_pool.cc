@@ -1,26 +1,33 @@
 #include "storage/string_pool.h"
 
-
 namespace skinner {
 
 int32_t StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   int32_t id = static_cast<int32_t>(strings_.size());
+  // deque never relocates its elements, so the key view into the new
+  // string (SSO buffer included) stays valid across later growth.
   strings_.emplace_back(s);
-  // Note: strings_ may reallocate, invalidating string_view keys that point
-  // into the vector's strings. std::string's heap buffer is stable across
-  // vector reallocation (small-string values move their bytes), so key views
-  // must reference the heap: force non-SSO storage for short strings by
-  // reserving capacity beyond the SSO threshold.
-  if (strings_.back().capacity() < 32) strings_.back().reserve(32);
   index_.emplace(std::string_view(strings_.back()), id);
   return id;
 }
 
 int32_t StringPool::Lookup(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& StringPool::Get(int32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_[static_cast<size_t>(id)];
+}
+
+size_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
 }
 
 }  // namespace skinner

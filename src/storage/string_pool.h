@@ -2,10 +2,11 @@
 #define SKINNER_STORAGE_STRING_POOL_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace skinner {
 
@@ -13,6 +14,12 @@ namespace skinner {
 /// stored in any column receives one int32 id. Equality joins on string
 /// columns therefore reduce to integer comparisons, which is what makes the
 /// tuple-index-only execution state of Skinner-C cheap for string data too.
+///
+/// Thread-safe: concurrent sessions bind string literals (Intern) and
+/// materialize string columns (Get) at the same time; a mutex serializes
+/// the pool's own bookkeeping. Interned strings are immutable and live in a
+/// deque — elements never move — so the reference Get returns stays valid
+/// for the pool's lifetime, beyond the internal lock.
 class StringPool {
  public:
   StringPool() = default;
@@ -26,11 +33,12 @@ class StringPool {
   /// probing literals: a literal absent from the pool matches nothing.
   int32_t Lookup(std::string_view s) const;
 
-  const std::string& Get(int32_t id) const { return strings_[static_cast<size_t>(id)]; }
-  size_t size() const { return strings_.size(); }
+  const std::string& Get(int32_t id) const;
+  size_t size() const;
 
  private:
-  std::vector<std::string> strings_;
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;              // stable element addresses
   std::unordered_map<std::string_view, int32_t> index_;  // views into strings_
 };
 

@@ -1,0 +1,347 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+
+namespace skinner {
+namespace {
+
+/// Splits a response text into its lines (each was '\n'-terminated).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+void SetupTinyDb(Database* db) {
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT, b STRING)").ok());
+  ASSERT_TRUE(
+      db->Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')").ok());
+}
+
+TEST(ServerProtocolTest, PingQuitAndUnknown) {
+  Database db;
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  ServerResponse r = conn.value()->HandleLine("PING");
+  EXPECT_EQ(r.text, "OK\n");
+  EXPECT_FALSE(r.close);
+
+  r = conn.value()->HandleLine("BOGUS stuff");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR UNSUPPORTED", 0), 0u);
+
+  r = conn.value()->HandleLine("QUIT");
+  EXPECT_EQ(r.text, "OK bye\n");
+  EXPECT_TRUE(r.close);
+}
+
+TEST(ServerProtocolTest, QueryRowsAndErrors) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  ServerResponse r = conn.value()->HandleLine(
+      "Q SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b");
+  std::vector<std::string> lines = Lines(r.text);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ROW x\t2");
+  EXPECT_EQ(lines[1], "ROW y\t1");
+  EXPECT_EQ(lines[2].rfind("OK rows=2 cost=", 0), 0u);
+
+  r = conn.value()->HandleLine("Q SELECT FROM nonsense !!");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR PARSE", 0), 0u);
+
+  r = conn.value()->HandleLine("Q SELECT * FROM missing");
+  lines = Lines(r.text);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("ERR BIND", 0), 0u);
+
+  r = conn.value()->HandleLine("Q");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR INVALID", 0), 0u);
+
+  ServerStats stats = core.stats();
+  EXPECT_EQ(stats.queries_ok, 1u);
+  // The bare "Q" usage error never reaches the engine, so only the parse
+  // and bind failures count as query errors.
+  EXPECT_EQ(stats.queries_error, 2u);
+}
+
+TEST(ServerProtocolTest, DdlThenQuery) {
+  Database db;
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  EXPECT_EQ(conn.value()->HandleLine("X CREATE TABLE u (v INT)").text, "OK\n");
+  EXPECT_EQ(conn.value()->HandleLine("X INSERT INTO u VALUES (5), (6)").text,
+            "OK\n");
+  ServerResponse r =
+      conn.value()->HandleLine("Q SELECT COUNT(*) FROM u");
+  std::vector<std::string> lines = Lines(r.text);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ROW 2");
+}
+
+TEST(ServerProtocolTest, PrepareAndExecute) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  ServerResponse r = conn.value()->HandleLine(
+      "P stmt SELECT a FROM t WHERE b = ? ORDER BY a");
+  EXPECT_EQ(r.text, "OK params=1\n");
+
+  r = conn.value()->HandleLine("E stmt 'x'");
+  std::vector<std::string> lines = Lines(r.text);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ROW 1");
+  EXPECT_EQ(lines[1], "ROW 3");
+
+  r = conn.value()->HandleLine("E nosuch 'x'");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR NOT_FOUND", 0), 0u);
+
+  r = conn.value()->HandleLine("E stmt 'x' 'extra'");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR", 0), 0u);
+
+  r = conn.value()->HandleLine("P bad-name SELECT 1");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR INVALID", 0), 0u);
+}
+
+TEST(ServerProtocolTest, StatsSurface) {
+  Database db;
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+  ServerResponse r = conn.value()->HandleLine("STATS");
+  std::vector<std::string> lines = Lines(r.text);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines.back(), "OK");
+  bool saw_sched = false;
+  for (const std::string& line : lines) {
+    if (line != "OK") {
+      EXPECT_EQ(line.rfind("STAT ", 0), 0u) << line;
+    }
+    if (line.rfind("STAT sched_workers=", 0) == 0) saw_sched = true;
+  }
+  EXPECT_TRUE(saw_sched);
+}
+
+TEST(ServerLiteralTest, ParsesIntsDoublesStringsNull) {
+  auto vals = ParseLiteralList("1 -2 3.5 NULL 'it''s' 'x y'");
+  ASSERT_TRUE(vals.ok());
+  ASSERT_EQ(vals.value().size(), 6u);
+  EXPECT_EQ(vals.value()[0].AsInt(), 1);
+  EXPECT_EQ(vals.value()[1].AsInt(), -2);
+  EXPECT_DOUBLE_EQ(vals.value()[2].AsDouble(), 3.5);
+  EXPECT_TRUE(vals.value()[3].is_null());
+  EXPECT_EQ(vals.value()[4].AsString(), "it's");
+  EXPECT_EQ(vals.value()[5].AsString(), "x y");
+
+  EXPECT_FALSE(ParseLiteralList("'unterminated").ok());
+  EXPECT_FALSE(ParseLiteralList("12abc").ok());
+  EXPECT_TRUE(ParseLiteralList("").ok());
+}
+
+TEST(ServerLiteralTest, EscapeFieldKeepsRowsOneLine) {
+  EXPECT_EQ(EscapeField("plain"), "plain");
+  EXPECT_EQ(EscapeField("a\tb"), "a\\tb");
+  EXPECT_EQ(EscapeField("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeField("a\\b"), "a\\\\b");
+}
+
+// K concurrent sessions running the same fixed-seed query must each get
+// rows bit-identical to a single direct client.
+TEST(ServerConcurrencyTest, KSessionResultsBitIdentical) {
+  Database db;
+  SetupTinyDb(&db);
+  const std::string sql =
+      "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b ORDER BY b";
+  std::string reference;
+  {
+    auto out = db.Query(sql);
+    ASSERT_TRUE(out.ok());
+    std::ostringstream os;
+    for (const auto& row : out.value().result.rows) {
+      for (size_t j = 0; j < row.size(); ++j) {
+        if (j > 0) os << '\t';
+        os << row[j].ToString();
+      }
+      os << '\n';
+    }
+    reference = os.str();
+  }
+
+  ServerCore core(&db);
+  constexpr int kSessions = 6;
+  std::vector<std::unique_ptr<ServerConnection>> conns;
+  for (int i = 0; i < kSessions; ++i) {
+    auto c = core.Connect();
+    ASSERT_TRUE(c.ok());
+    conns.push_back(c.MoveValue());
+  }
+  std::vector<std::string> rows(kSessions);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      ServerResponse r = conns[static_cast<size_t>(i)]->HandleLine("Q " + sql);
+      std::ostringstream os;
+      for (const std::string& line : Lines(r.text)) {
+        if (line.rfind("ROW ", 0) == 0) os << line.substr(4) << '\n';
+      }
+      rows[static_cast<size_t>(i)] = os.str();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)], reference) << "session " << i;
+  }
+}
+
+TEST(ServerQuotaTest, PreparedStatementQuota) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerOptions opts;
+  opts.quota.max_prepared_statements = 2;
+  ServerCore core(&db, opts);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  EXPECT_EQ(conn.value()
+                ->HandleLine("P s1 SELECT a FROM t WHERE b = ?")
+                .text.rfind("OK", 0),
+            0u);
+  EXPECT_EQ(conn.value()
+                ->HandleLine("P s2 SELECT COUNT(*) FROM t WHERE a = ?")
+                .text.rfind("OK", 0),
+            0u);
+  ServerResponse r =
+      conn.value()->HandleLine("P s3 SELECT b FROM t WHERE a = ?");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR QUOTA", 0), 0u);
+  // Re-preparing an existing name replaces it and doesn't count anew.
+  EXPECT_EQ(conn.value()
+                ->HandleLine("P s1 SELECT a FROM t WHERE b = ?")
+                .text.rfind("OK", 0),
+            0u);
+}
+
+TEST(ServerQuotaTest, CacheByteShareThrottlesPublishing) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerOptions opts;
+  opts.quota.cache_bytes_share = 1;  // exhausted by the first publish
+  ServerCore core(&db, opts);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  ASSERT_EQ(conn.value()
+                ->HandleLine("P s SELECT a FROM t WHERE b = ? ORDER BY a")
+                .text.rfind("OK", 0),
+            0u);
+  ServerResponse first = conn.value()->HandleLine("E s 'x'");
+  EXPECT_EQ(Lines(first.text).back().rfind("OK", 0), 0u);
+  EXPECT_GT(conn.value()->cache_bytes_used(), 0u);
+
+  // Past the share: executions run cache_read_only — same rows, but the
+  // throttle counter moves and no further bytes are charged.
+  const uint64_t used = conn.value()->cache_bytes_used();
+  ServerResponse second = conn.value()->HandleLine("E s 'zzz'");
+  EXPECT_EQ(Lines(second.text).back().rfind("OK", 0), 0u);
+  EXPECT_EQ(conn.value()->cache_bytes_used(), used);
+  EXPECT_GE(core.stats().cache_publish_throttled, 1u);
+}
+
+TEST(ServerAdmissionTest, MaxSessionsSheds) {
+  Database db;
+  ServerOptions opts;
+  opts.max_sessions = 1;
+  ServerCore core(&db, opts);
+
+  auto first = core.Connect();
+  ASSERT_TRUE(first.ok());
+  auto second = core.Connect();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(core.stats().connections_shed, 1u);
+
+  first.MoveValue().reset();  // slot released
+  auto third = core.Connect();
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(ServerShutdownTest, ShutdownDrainsThenRejects) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerCore core(&db);
+  auto a = core.Connect();
+  auto b = core.Connect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  ServerResponse r = a.value()->HandleLine("SHUTDOWN");
+  EXPECT_TRUE(r.shutdown);
+  EXPECT_TRUE(r.close);
+  core.Shutdown();
+
+  r = b.value()->HandleLine("Q SELECT COUNT(*) FROM t");
+  EXPECT_EQ(Lines(r.text)[0].rfind("ERR SHUTDOWN", 0), 0u);
+  auto c = core.Connect();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kShuttingDown);
+}
+
+// DDL racing concurrent queries must yield clean per-query Status errors
+// (stale statement / unknown table), never a crash or torn read. Run under
+// TSan in CI.
+TEST(ServerConcurrencyTest, DdlInterleavedWithQueriesIsClean) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE r (k INT, v INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO r VALUES (1, 10), (2, 20)").ok());
+  ServerCore core(&db);
+  auto ddl_conn = core.Connect();
+  auto query_conn = core.Connect();
+  ASSERT_TRUE(ddl_conn.ok());
+  ASSERT_TRUE(query_conn.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread ddl([&] {
+    for (int i = 0; i < 25 && !stop.load(); ++i) {
+      ddl_conn.value()->HandleLine("X DROP TABLE r");
+      ddl_conn.value()->HandleLine("X CREATE TABLE r (k INT, v INT)");
+      ddl_conn.value()->HandleLine("X INSERT INTO r VALUES (1, 10), (2, 20)");
+    }
+  });
+  std::thread query([&] {
+    for (int i = 0; i < 50; ++i) {
+      ServerResponse r = query_conn.value()->HandleLine(
+          "Q SELECT COUNT(*) FROM r WHERE v > 5");
+      for (const std::string& line : Lines(r.text)) {
+        const bool clean = line.rfind("ROW", 0) == 0 ||
+                           line.rfind("OK", 0) == 0 ||
+                           line.rfind("ERR", 0) == 0;
+        EXPECT_TRUE(clean) << line;
+      }
+    }
+    stop.store(true);
+  });
+  ddl.join();
+  query.join();
+}
+
+}  // namespace
+}  // namespace skinner

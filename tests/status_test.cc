@@ -29,6 +29,46 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::ShuttingDown("x").code(), StatusCode::kShuttingDown);
+  EXPECT_EQ(Status::QuotaExceeded("x").code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(StatusTest, WireTokensRoundTripEveryCode) {
+  const StatusCode all[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kParseError,  StatusCode::kBindError,
+      StatusCode::kTypeError,   StatusCode::kIoError,
+      StatusCode::kUnsupported, StatusCode::kInternal,
+      StatusCode::kOverloaded,  StatusCode::kShuttingDown,
+      StatusCode::kQuotaExceeded,
+  };
+  for (StatusCode code : all) {
+    const char* token = StatusCodeToken(code);
+    ASSERT_NE(token, nullptr);
+    StatusCode back = StatusCode::kInternal;
+    EXPECT_TRUE(StatusCodeFromToken(token, &back)) << token;
+    EXPECT_EQ(back, code) << token;
+  }
+}
+
+// The wire tokens are a stable protocol surface (server ERR lines); these
+// exact spellings must never change.
+TEST(StatusTest, WireTokensAreStable) {
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kParseError), "PARSE");
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kOverloaded), "OVERLOADED");
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kShuttingDown), "SHUTDOWN");
+  EXPECT_STREQ(StatusCodeToken(StatusCode::kQuotaExceeded), "QUOTA");
+}
+
+TEST(StatusTest, UnknownTokenRejected) {
+  StatusCode code = StatusCode::kOk;
+  EXPECT_FALSE(StatusCodeFromToken("NO_SUCH_TOKEN", &code));
+  EXPECT_FALSE(StatusCodeFromToken("", &code));
+  EXPECT_EQ(code, StatusCode::kOk);  // untouched on failure
 }
 
 TEST(ResultTest, HoldsValue) {
