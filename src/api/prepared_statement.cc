@@ -142,9 +142,12 @@ Result<PreparedStage> PreparedStatement::PrepareStage(
   // Per-table artifacts through the cache: each table's key folds in only
   // the values of the parameters reaching ITS unary filters, so a table
   // whose filters mention no `?` hits the same artifact for every
-  // parameter set. Builder claims are resolved (built + published) one
-  // table at a time — never holding one claim while waiting on another —
-  // which keeps concurrent executions deadlock-free by construction.
+  // parameter set. Artifact construction follows the cache's claim-all
+  // protocol: try-acquire every table's claim up front (never blocking),
+  // build and publish every owned claim, and only then wait on other
+  // executions' in-flight builds. Deadlock-free because no execution ever
+  // blocks while holding an unpublished claim, and concurrent because an
+  // m-table join's artifacts build m-wide instead of one at a time.
   PreparedCache* cache = db_->prepared_cache();
   const int m = bundle->bound->num_tables();
   const std::vector<const Table*> table_ptrs = bundle->bound->TablePtrs();
@@ -174,6 +177,15 @@ Result<PreparedStage> PreparedStatement::PrepareStage(
       }
     }
   }
+  // Phase 1: try-acquire every table's claim (no blocking anywhere).
+  struct TableWork {
+    int t = 0;
+    std::string key;
+    TableStamp stamp;
+    bool owned = false;             // we hold the builder claim
+    std::shared_ptr<void> pending;  // another execution's in-flight token
+  };
+  std::vector<TableWork> work;
   for (int t = 0; t < m && !constant_empty; ++t) {
     const Table* table = bundle->bound->tables[static_cast<size_t>(t)].table;
     std::string values;
@@ -181,37 +193,118 @@ Result<PreparedStage> PreparedStatement::PrepareStage(
       AppendValueSignature(params[static_cast<size_t>(idx)], &values);
       values.push_back(';');
     }
-    const std::string key = TableArtifactKey(template_sig_, t,
-                                             opts.build_hash_indexes, values);
-    const TableStamp stamp{table->id(), table->data_version()};
+    TableWork w;
+    w.t = t;
+    w.key = TableArtifactKey(template_sig_, t, opts.build_hash_indexes, values);
+    w.stamp = TableStamp{table->id(), table->data_version()};
     if (opts.cache_read_only) {
       // Quota-throttled: serve hits, build misses privately, publish
       // nothing (no shared-budget bytes charged to this session).
-      PreparedCache::TableArtifactPtr hit = cache->LookupTable(key, stamp);
+      PreparedCache::TableArtifactPtr hit = cache->LookupTable(w.key, w.stamp);
       if (hit != nullptr) {
         reuse[static_cast<size_t>(t)] = std::move(hit);
         ++stage.tables_from_cache;
         continue;
       }
-      std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
-          table_ptrs, pool, *bundle->info, t, opts.build_hash_indexes);
-      built_cost += artifact->build_cost;
-      reuse[static_cast<size_t>(t)] = std::move(artifact);
-      ++stage.tables_reprepared;
-      continue;
+      w.owned = true;  // private build; never published
+    } else {
+      PreparedCache::TableTryClaim claim =
+          cache->TryAcquireTable(w.key, w.stamp);
+      if (claim.artifact != nullptr) {
+        reuse[static_cast<size_t>(t)] = std::move(claim.artifact);
+        ++stage.tables_from_cache;
+        continue;
+      }
+      if (claim.builder) {
+        w.owned = true;
+      } else {
+        w.pending = std::move(claim.pending);
+      }
     }
-    PreparedCache::TableClaim claim = cache->AcquireTable(key, stamp);
+    work.push_back(std::move(w));
+  }
+
+  // Phase 2: build + publish every owned claim. With parallel
+  // pre-processing the owned tables build concurrently (each one
+  // additionally morsel-parallel inside) on width leased from the
+  // scheduler's engine budget, so concurrent sessions share the pool
+  // fairly; the charged cost stays the deterministic list-scheduled
+  // makespan at the CONFIGURED width, independent of the lease.
+  std::vector<size_t> owned;
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (work[i].owned) owned.push_back(i);
+  }
+  Scheduler* sched =
+      opts.scheduler != nullptr ? opts.scheduler : db_->scheduler();
+  if (opts.parallel_preprocess && !owned.empty()) {
+    ThreadLease lease;
+    int width = std::max(opts.num_threads, 1);
+    if (sched != nullptr && opts.num_threads > 1) {
+      lease = sched->LeaseThreads(opts.num_threads);
+      width = std::max(1, lease.granted());
+    }
+    std::vector<std::shared_ptr<const TableArtifact>> builds(owned.size());
+    SchedParallelFor(
+        sched, owned.size(), width,
+        [&](size_t i) {
+          const TableWork& w = work[owned[i]];
+          std::shared_ptr<const TableArtifact> artifact =
+              BuildTableArtifactParallel(table_ptrs, pool, *bundle->info, w.t,
+                                         opts.build_hash_indexes, sched, width);
+          // Publish inside the loop body: co-claimants wake as soon as
+          // THEIR table is ready, and every owned claim is published
+          // before phase 3 waits on anyone (the claim-all contract).
+          if (!opts.cache_read_only) {
+            cache->PublishTable(w.key, w.stamp, artifact);
+          }
+          builds[i] = std::move(artifact);
+        },
+        /*min_grain=*/1);
+    std::vector<uint64_t> owned_costs(owned.size(), 0);
+    for (size_t i = 0; i < owned.size(); ++i) {
+      const TableWork& w = work[owned[i]];
+      owned_costs[i] = builds[i]->build_cost;
+      if (!opts.cache_read_only) {
+        stage.cache_bytes_published += builds[i]->bytes();
+      }
+      reuse[static_cast<size_t>(w.t)] = std::move(builds[i]);
+      ++stage.tables_reprepared;
+    }
+    built_cost += ListScheduleMakespan(owned_costs, opts.num_threads);
+  } else {
+    for (size_t i : owned) {
+      const TableWork& w = work[i];
+      std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
+          table_ptrs, pool, *bundle->info, w.t, opts.build_hash_indexes);
+      if (!opts.cache_read_only) {
+        cache->PublishTable(w.key, w.stamp, artifact);
+        stage.cache_bytes_published += artifact->bytes();
+      }
+      built_cost += artifact->build_cost;
+      reuse[static_cast<size_t>(w.t)] = std::move(artifact);
+      ++stage.tables_reprepared;
+    }
+  }
+
+  // Phase 3: redeem the in-flight tokens. Safe to block now — all our
+  // claims are published. A wait can still hand back builder=true (the
+  // other execution abandoned, or republished under different stamps);
+  // build-and-publish inline then.
+  for (TableWork& w : work) {
+    if (w.pending == nullptr) continue;
+    PreparedCache::TableClaim claim =
+        cache->WaitTable(w.key, w.stamp, w.pending);
     if (claim.artifact != nullptr) {
-      reuse[static_cast<size_t>(t)] = std::move(claim.artifact);
+      reuse[static_cast<size_t>(w.t)] = std::move(claim.artifact);
       ++stage.tables_from_cache;
       continue;
     }
     std::shared_ptr<const TableArtifact> artifact = BuildTableArtifact(
-        table_ptrs, pool, *bundle->info, t, opts.build_hash_indexes);
-    cache->PublishTable(key, stamp, artifact);
+        table_ptrs, pool, *bundle->info, w.t, opts.build_hash_indexes);
+    cache->PublishTable(w.key, w.stamp, artifact);
     stage.cache_bytes_published += artifact->bytes();
     built_cost += artifact->build_cost;
-    reuse[static_cast<size_t>(t)] = std::move(artifact);
+    reuse[static_cast<size_t>(w.t)] = std::move(artifact);
     ++stage.tables_reprepared;
   }
 

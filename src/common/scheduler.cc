@@ -171,11 +171,16 @@ void Scheduler::WorkerMain() {
 }
 
 void Scheduler::ParallelFor(size_t count, int max_threads,
-                            const std::function<void(size_t)>& fn) {
+                            const std::function<void(size_t)>& fn,
+                            size_t min_grain) {
   const size_t width =
       std::min(count, static_cast<size_t>(std::max(max_threads, 1)));
-  if (width <= 1) {
+  if (width <= 1 || count <= min_grain) {
+    // Inline fast path: never touches the dispatch queue, so a tiny range
+    // (a 0-row table's lone filter morsel) costs a function call, not a
+    // mutex round-trip plus a pool wake-up.
     for (size_t i = 0; i < count; ++i) fn(i);
+    pf_inline_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   auto task = std::make_shared<PfTask>();
@@ -186,6 +191,7 @@ void Scheduler::ParallelFor(size_t count, int max_threads,
     std::lock_guard<std::mutex> lk(mu_);
     EnsureWorkersLocked();
     pf_tasks_.push_back(task);
+    ++pf_dispatched_;
   }
   cv_.notify_all();
   // The caller participates: even with every pool worker busy (or helping
@@ -299,6 +305,8 @@ Scheduler::Stats Scheduler::stats() const {
   s.leased_threads = leased_;
   s.lease_grants = lease_grants_;
   s.lease_capped = lease_capped_;
+  s.pf_inline = pf_inline_.load(std::memory_order_relaxed);
+  s.pf_dispatched = pf_dispatched_;
   for (const auto& [sid, ss] : sessions_) {
     SessionStats out;
     out.submitted = ss.submitted;

@@ -142,8 +142,17 @@ class Scheduler {
   /// Executes inline (ascending, no pool) when one worker suffices. `fn`
   /// must be safe to call concurrently for distinct indices and must not
   /// throw.
+  ///
+  /// `min_grain` is the inline fast path: a range of at most min_grain
+  /// indices runs entirely on the caller thread without touching the
+  /// dispatch queue (no mutex, no worker wake-up). Callers that know their
+  /// indices are tiny (a 0-row table's single filter morsel, a handful of
+  /// trivial index jobs) pass the threshold and skip the dispatch overhead
+  /// that would dominate the work itself. Results are identical on either
+  /// path — only scheduling changes.
   void ParallelFor(size_t count, int max_threads,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn,
+                   size_t min_grain = 0);
 
   /// Enqueues `fn` as one job of `session_id`, subject to admission
   /// control; returns a Ticket to wait on, or Overloaded / QuotaExceeded /
@@ -193,6 +202,10 @@ class Scheduler {
     int leased_threads = 0;       // outstanding lease grants
     uint64_t lease_grants = 0;
     uint64_t lease_capped = 0;    // grants smaller than the request
+    /// ParallelFor calls resolved entirely on the caller thread (width 1
+    /// or at most min_grain indices) vs. pushed to the dispatch queue.
+    uint64_t pf_inline = 0;
+    uint64_t pf_dispatched = 0;
     std::vector<std::pair<uint64_t, SessionStats>> sessions;  // by id
   };
   Stats stats() const;
@@ -267,15 +280,19 @@ class Scheduler {
   int leased_ = 0;
   uint64_t lease_grants_ = 0;
   uint64_t lease_capped_ = 0;
+  /// Atomic: the inline fast path must not touch mu_ (that is its point).
+  std::atomic<uint64_t> pf_inline_{0};
+  uint64_t pf_dispatched_ = 0;  // guarded by mu_
 };
 
 /// Routes fn over [0, count) through `sched` when one is available, else
 /// runs inline sequentially (callers outside any Database, e.g. direct
 /// PreparedQuery::Prepare users). Results never depend on which path runs.
 inline void SchedParallelFor(Scheduler* sched, size_t count, int max_threads,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             size_t min_grain = 0) {
   if (sched != nullptr) {
-    sched->ParallelFor(count, max_threads, fn);
+    sched->ParallelFor(count, max_threads, fn, min_grain);
     return;
   }
   for (size_t i = 0; i < count; ++i) fn(i);

@@ -173,7 +173,24 @@ int64_t JoinCursor::NextCandidate(int depth, int64_t pos) const {
                                          static_cast<int32_t>(pos));
     return it == postings.end() ? -1 : *it;
   }
-  return pos + 1 < card ? pos + 1 : -1;
+  const int64_t next = pos + 1;
+  if (next >= card) return -1;
+  // Long scans (the forced-order executor's leftmost table advances here,
+  // not through FirstCandidate) refresh the lookahead at every aligned
+  // window boundary: batch-probe the next table's driving keys for the
+  // upcoming kWay positions. A pure accelerator — never charged, results
+  // unchanged — exactly like FirstCandidate's scan-driven window.
+  if (depth + 1 < static_cast<int>(steps_.size()) &&
+      (next & static_cast<int64_t>(Lookahead::kWay - 1)) == 0) {
+    int32_t scan[Lookahead::kWay];
+    const size_t n =
+        static_cast<size_t>(std::min<int64_t>(card - next, Lookahead::kWay));
+    for (size_t i = 0; i < n; ++i) {
+      scan[i] = static_cast<int32_t>(next + static_cast<int64_t>(i));
+    }
+    BatchProbeNext(depth, scan, n, /*window_id=*/static_cast<uint64_t>(next));
+  }
+  return next;
 }
 
 bool JoinCursor::Check(int depth) const {

@@ -358,6 +358,48 @@ PreparedCache::TableClaim PreparedCache::AcquireTable(const std::string& key,
   }
 }
 
+PreparedCache::TableTryClaim PreparedCache::TryAcquireTable(
+    const std::string& key, const TableStamp& stamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_entries_.find(key);
+  if (it != table_entries_.end()) {
+    if (it->second.stamp == stamp) {
+      ++table_hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return TableTryClaim{it->second.artifact, false, nullptr};
+    }
+    ++table_invalidations_;
+    EvictTableLocked(key);
+  }
+  auto inf = table_inflight_.find(key);
+  if (inf == table_inflight_.end()) {
+    ++table_misses_;
+    table_inflight_.emplace(key, std::make_shared<Inflight>());
+    return TableTryClaim{nullptr, true, nullptr};
+  }
+  // Someone else is building: hand out their token WITHOUT blocking — the
+  // claim-all caller publishes its own claims first and redeems the token
+  // via WaitTable afterwards.
+  return TableTryClaim{nullptr, false, inf->second};
+}
+
+PreparedCache::TableClaim PreparedCache::WaitTable(
+    const std::string& key, const TableStamp& stamp,
+    const std::shared_ptr<void>& pending) {
+  std::shared_ptr<Inflight> token = std::static_pointer_cast<Inflight>(pending);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++inflight_waits_;
+    token->cv.wait(lock, [&] { return token->done; });
+    if (token->artifact != nullptr && token->stamp == stamp) {
+      return TableClaim{token->artifact, false};
+    }
+  }
+  // Abandoned, or published under different stamps: fall back to the
+  // blocking acquire loop — we may become the builder ourselves.
+  return AcquireTable(key, stamp);
+}
+
 void PreparedCache::PublishTable(const std::string& key,
                                  const TableStamp& stamp,
                                  TableArtifactPtr artifact) {

@@ -178,14 +178,46 @@ class PreparedCache {
     bool builder = false;  // true: the caller must PublishTable/AbandonTable
   };
   /// AcquireTable/PublishTable/AbandonTable: as Acquire/Publish/Abandon,
-  /// at per-table granularity. A builder must publish (or abandon) one
-  /// table's claim before acquiring the next table's — builds are
-  /// per-table independent, which is what makes the protocol deadlock-free
-  /// without any lock ordering across keys.
+  /// at per-table granularity. A caller holding builder claims on several
+  /// keys at once MUST follow the claim-all protocol (below); a caller
+  /// that only ever holds one claim at a time may simply publish (or
+  /// abandon) it before acquiring the next.
   TableClaim AcquireTable(const std::string& key, const TableStamp& stamp);
   void PublishTable(const std::string& key, const TableStamp& stamp,
                     TableArtifactPtr artifact);
   void AbandonTable(const std::string& key);
+
+  /// Claim-all protocol for building SEVERAL tables' artifacts
+  /// concurrently (PreparedStatement's pre-processing of an m-table join):
+  ///
+  ///   1. TryAcquireTable every key up front — never blocks; each call
+  ///      yields a ready artifact, a builder claim, or another caller's
+  ///      in-flight token.
+  ///   2. Build and PublishTable (or AbandonTable) EVERY owned claim.
+  ///   3. Only then WaitTable on the tokens of step 1.
+  ///
+  /// Deadlock-freedom: a claim holder never blocks while holding an
+  /// unpublished claim, so the wait-for graph between builders has no
+  /// cycle by construction. (Blocking sorted acquisition would NOT work
+  /// here: two builders each holding one claim of the other's set would
+  /// wait forever, because neither publishes anything until it holds all
+  /// its claims.)
+  struct TableTryClaim {
+    TableArtifactPtr artifact;  // set on an immediate hit
+    bool builder = false;       // true: the caller must Publish/Abandon
+    /// Another caller's in-flight build token (artifact and builder both
+    /// unset); redeem with WaitTable after publishing every owned claim.
+    std::shared_ptr<void> pending;
+  };
+  TableTryClaim TryAcquireTable(const std::string& key,
+                                const TableStamp& stamp);
+  /// Blocks on `pending` (from TryAcquireTable) until its builder
+  /// publishes or abandons. Returns the published artifact, or — after an
+  /// abandon, or a publish under different stamps — falls back to the
+  /// blocking AcquireTable loop, so the result may be builder=true and the
+  /// caller must then build-and-publish (or abandon) itself.
+  TableClaim WaitTable(const std::string& key, const TableStamp& stamp,
+                       const std::shared_ptr<void>& pending);
 
   // ---- warm-start join orders ----------------------------------------
 

@@ -44,7 +44,7 @@ uint64_t JoinKeyOf(const Column& col, int64_t base_row) {
   return 0;
 }
 
-void HashIndex::Build() {
+void HashIndex::Build(Scheduler* sched, int max_threads) {
   if (built_) return;
   built_ = true;
   if (staged_.empty()) {
@@ -66,6 +66,46 @@ void HashIndex::Build() {
   slots_.assign(cap, Slot{});
   tags_.assign(cap + kGroupWidth, 0);
 
+  // The algorithm is chosen by the data alone: worker count must never
+  // leak into the frozen layout (bit-identity across thread counts).
+  const size_t parts = NumPartitions(cap);
+  if (parts >= 2) {
+    BuildPartitioned(cap, parts, sched, max_threads);
+  } else {
+    BuildSequential();
+  }
+
+  // Mirror the first probe group past the end so an unaligned 16-byte tag
+  // load starting anywhere in [0, cap) never reads uninitialized bytes and
+  // sees exactly the wrapped-around tag sequence.
+  for (size_t i = 0; i < kGroupWidth; ++i) {
+    tags_[cap + i] = tags_[i];
+  }
+#ifndef NDEBUG
+  // Swiss-table invariants, independent of which build path ran: the load
+  // bound, tag/payload agreement, and chain reachability (every occupied
+  // slot is reachable from its key's home slot over occupied slots only,
+  // or Find() would stop at an empty tag and miss it).
+  assert(num_keys_ * 2 <= cap && "HashIndex load factor above 50%");
+  for (size_t i = 0; i < cap; ++i) {
+    if (slots_[i].len == 0) {
+      assert(tags_[i] == 0 && "empty slot carries a non-empty tag");
+      continue;
+    }
+    const uint64_t h = HashMix64(slots_[i].key);
+    assert(tags_[i] == TagOf(h) && "tag does not match the slot key");
+    for (size_t j = h & mask_; j != i; j = (j + 1) & mask_) {
+      assert(slots_[j].len != 0 && "probe chain crosses an empty slot");
+    }
+  }
+#endif
+  // Release the staging blocks: the "exact heap footprint" contract of
+  // bytes() must not keep charging for scratch the index no longer needs.
+  staged_.Release();
+}
+
+void HashIndex::BuildSequential() {
+  const size_t cap = slots_.size();
   // Pass 1: count the run length of every distinct key. Insertion probes
   // linearly from h & mask — the same sequence every Find path walks.
   staged_.ForEach([&](uint64_t key, int32_t pos) {
@@ -98,15 +138,193 @@ void HashIndex::Build() {
     arena_[slots_[i].offset + cursor[i]] = pos;
     ++cursor[i];
   });
-  // Mirror the first probe group past the end so an unaligned 16-byte tag
-  // load starting anywhere in [0, cap) never reads uninitialized bytes and
-  // sees exactly the wrapped-around tag sequence.
-  for (size_t i = 0; i < kGroupWidth; ++i) {
-    tags_[cap + i] = tags_[i];
+}
+
+void HashIndex::BuildPartitioned(size_t cap, size_t parts, Scheduler* sched,
+                                 int max_threads) {
+  // Deterministic partitioned freeze. The slot array splits into `parts`
+  // contiguous home-slot ranges (cap and parts are powers of two, so the
+  // ranges are equal); every staged pair belongs to the partition of its
+  // home slot. Each phase's output is a pure function of the staged data
+  // — parallel phases write disjoint state and sequential phases run in a
+  // fixed order — so the frozen layout is bit-identical for every worker
+  // count, including fully inline execution.
+  const size_t part_slots = cap / parts;
+  const size_t num_blocks = staged_.num_blocks();
+
+  // Pass 0 (parallel over staging blocks): count pairs per (block,
+  // partition) so routing below can scatter without contention.
+  std::vector<uint32_t> counts(num_blocks * parts, 0);
+  SchedParallelFor(sched, num_blocks, max_threads, [&](size_t b) {
+    const std::pair<uint64_t, int32_t>* pairs = staged_.block(b);
+    const size_t n = staged_.block_size(b);
+    uint32_t* row = counts.data() + b * parts;
+    for (size_t i = 0; i < n; ++i) {
+      ++row[(HashMix64(pairs[i].first) & mask_) / part_slots];
+    }
+  });
+
+  // Pass 1 (parallel over staging blocks): route pairs into one
+  // partition-major array. Within a partition, block regions appear in
+  // block order and pairs in append order, so partition p's stream is
+  // exactly the staged stream restricted to p — per-key ascending
+  // position order is preserved.
+  struct Routed {
+    uint64_t key;
+    int32_t pos;
+  };
+  std::vector<Routed> routed(staged_.size());
+  std::vector<size_t> part_begin(parts + 1, 0);
+  std::vector<size_t> offs(num_blocks * parts);
+  {
+    size_t off = 0;
+    for (size_t p = 0; p < parts; ++p) {
+      part_begin[p] = off;
+      for (size_t b = 0; b < num_blocks; ++b) {
+        offs[b * parts + p] = off;
+        off += counts[b * parts + p];
+      }
+    }
+    part_begin[parts] = off;
+    assert(off == staged_.size());
   }
-  // Release the staging blocks: the "exact heap footprint" contract of
-  // bytes() must not keep charging for scratch the index no longer needs.
-  staged_.Release();
+  SchedParallelFor(sched, num_blocks, max_threads, [&](size_t b) {
+    const std::pair<uint64_t, int32_t>* pairs = staged_.block(b);
+    const size_t n = staged_.block_size(b);
+    size_t* cursor = offs.data() + b * parts;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t p = (HashMix64(pairs[i].first) & mask_) / part_slots;
+      routed[cursor[p]++] = {pairs[i].first, pairs[i].second};
+    }
+  });
+
+  // Pass 2 (parallel over partitions): linear-probe insert each
+  // partition's stream into its own slot range. Ranges are disjoint, so
+  // no two workers touch one slot. A probe chain reaching the range end
+  // is DEFERRED (not wrapped): whether it may continue depends on the
+  // next partition's occupancy, which is being built concurrently — the
+  // sequential spill pass below resolves all such chains in a fixed
+  // order instead.
+  std::vector<std::vector<size_t>> spill(parts);  // routed indices, in order
+  std::vector<size_t> part_keys(parts, 0);
+  SchedParallelFor(sched, parts, max_threads, [&](size_t p) {
+    const size_t end = (p + 1) * part_slots;
+    size_t keys = 0;
+    for (size_t r = part_begin[p]; r < part_begin[p + 1]; ++r) {
+      const uint64_t key = routed[r].key;
+      const uint64_t h = HashMix64(key);
+      size_t i = h & mask_;
+      for (;;) {
+        if (i == end) {
+          spill[p].push_back(r);
+          break;
+        }
+        if (slots_[i].len == 0) {
+          slots_[i].key = key;
+          tags_[i] = TagOf(h);
+          slots_[i].len = 1;
+          ++keys;
+          break;
+        }
+        if (slots_[i].key == key) {
+          ++slots_[i].len;
+          break;
+        }
+        ++i;
+      }
+    }
+    part_keys[p] = keys;
+  });
+  for (size_t p = 0; p < parts; ++p) num_keys_ += part_keys[p];
+
+  // Pass 3 (sequential): insert the spilled chains — partition order,
+  // stream order within a partition — probing the whole table with
+  // wraparound. Every partition-local placement already happened, so
+  // this order is fixed and the placements deterministic. Spills are
+  // rare: a chain must run from its home slot to a partition boundary
+  // unbroken, against the <= 50% load bound.
+  for (size_t p = 0; p < parts; ++p) {
+    for (size_t r : spill[p]) {
+      const uint64_t key = routed[r].key;
+      const uint64_t h = HashMix64(key);
+      size_t i = h & mask_;
+      while (slots_[i].len != 0 && slots_[i].key != key) i = (i + 1) & mask_;
+      if (slots_[i].len == 0) {
+        slots_[i].key = key;
+        tags_[i] = TagOf(h);
+        ++num_keys_;
+      }
+      ++slots_[i].len;
+    }
+  }
+  assert(num_keys_ * 2 <= cap && "HashIndex load factor above 50%");
+
+  // Pass 4 (sequential): arena offsets — prefix sum in slot order.
+  uint32_t offset = 0;
+  for (Slot& s : slots_) {
+    if (s.len == 0) continue;
+    s.offset = offset;
+    offset += s.len;
+  }
+
+  // Pass 5 (parallel over partitions, then sequential spill): stable
+  // scatter. A pair whose key stayed in-partition has its slot inside the
+  // partition's own range, so per-partition cursors never race; spilled
+  // pairs (whose slots may live anywhere) scatter afterwards in the same
+  // fixed order as pass 3. Either way each key's pairs arrive in staged
+  // order, keeping every posting run ascending.
+  arena_.resize(staged_.size());
+  std::vector<uint32_t> cursor(cap, 0);
+  SchedParallelFor(sched, parts, max_threads, [&](size_t p) {
+    const size_t end = (p + 1) * part_slots;
+    (void)end;  // assertion-only outside debug builds
+    const std::vector<size_t>& sp = spill[p];
+    size_t snext = 0;  // spill[p] is ascending: built in stream order
+    for (size_t r = part_begin[p]; r < part_begin[p + 1]; ++r) {
+      if (snext < sp.size() && sp[snext] == r) {
+        ++snext;  // spilled pair: the sequential pass below owns it
+        continue;
+      }
+      const uint64_t key = routed[r].key;
+      size_t i = HashMix64(key) & mask_;
+      while (slots_[i].len == 0 || slots_[i].key != key) {
+        ++i;
+        assert(i < end && "in-partition key not found in its own range");
+      }
+      arena_[slots_[i].offset + cursor[i]] = routed[r].pos;
+      ++cursor[i];
+    }
+  });
+  for (size_t p = 0; p < parts; ++p) {
+    for (size_t r : spill[p]) {
+      const uint64_t key = routed[r].key;
+      size_t i = HashMix64(key) & mask_;
+      while (slots_[i].len == 0 || slots_[i].key != key) i = (i + 1) & mask_;
+      arena_[slots_[i].offset + cursor[i]] = routed[r].pos;
+      ++cursor[i];
+    }
+  }
+}
+
+uint64_t HashIndex::Fingerprint() const {
+  assert(built_ && "Fingerprint before Build() is meaningless");
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(mask_);
+  const auto mix = [&h](uint64_t v) { h = HashMix64(h ^ v); };
+  mix(num_keys_);
+  mix(slots_.size());
+  mix(arena_.size());
+  for (const Slot& s : slots_) {
+    mix(s.key);
+    mix((static_cast<uint64_t>(s.offset) << 32) | s.len);
+  }
+  for (const int32_t v : arena_) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+  }
+  // Tags are derived from the slots, but hash them anyway: the mirror
+  // bytes and the probe path both read them, so a corrupt tag array must
+  // not fingerprint as identical.
+  for (const uint8_t t : tags_) mix(t);
+  return h;
 }
 
 #if SKINNER_HAVE_AVX2
@@ -259,17 +477,18 @@ void HashIndex::FindBatch(const uint64_t* keys, size_t n,
 
 namespace {
 
-/// Filters one table by its unary predicates; returns surviving base rows
-/// and the number of cost units spent. Operates on the raw table list so
-/// it can run while the PreparedQuery::Data is still under construction.
-std::pair<std::vector<int32_t>, uint64_t> FilterTable(
+/// Filters rows [begin, end) of one table by its unary predicates; returns
+/// the surviving base rows (ascending) and the cost units spent. One morsel
+/// of the (possibly parallel) filter scan. Costs are count-based — one unit
+/// per row plus predicate-evaluation ticks — so the morsel costs of a table
+/// sum to exactly what one sequential whole-table scan charges, regardless
+/// of how the range was split.
+std::pair<std::vector<int32_t>, uint64_t> FilterMorsel(
     const std::vector<const Table*>& tables, const StringPool* pool,
-    const std::vector<const Expr*>& preds, int t) {
-  const Table* table = tables[static_cast<size_t>(t)];
+    const std::vector<const Expr*>& preds, int t, int64_t begin, int64_t end) {
   std::vector<int32_t> rows;
   uint64_t cost = 0;
-  int64_t n = table->num_rows();
-  rows.reserve(static_cast<size_t>(n));
+  rows.reserve(static_cast<size_t>(end - begin));
   std::vector<int64_t> binding(tables.size(), 0);
   // Use a local clock so parallel filtering does not race on the shared one.
   VirtualClock local;
@@ -278,7 +497,7 @@ std::pair<std::vector<int32_t>, uint64_t> FilterTable(
   ctx.pool = pool;
   ctx.rows = binding.data();
   ctx.clock = &local;
-  for (int64_t r = 0; r < n; ++r) {
+  for (int64_t r = begin; r < end; ++r) {
     ++cost;
     binding[static_cast<size_t>(t)] = r;
     bool pass = true;
@@ -291,6 +510,14 @@ std::pair<std::vector<int32_t>, uint64_t> FilterTable(
     if (pass) rows.push_back(static_cast<int32_t>(r));
   }
   return {std::move(rows), cost + local.now()};
+}
+
+/// Filters one whole table (the sequential path: a single morsel).
+std::pair<std::vector<int32_t>, uint64_t> FilterTable(
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const std::vector<const Expr*>& preds, int t) {
+  return FilterMorsel(tables, pool, preds, t,  0,
+                      tables[static_cast<size_t>(t)]->num_rows());
 }
 
 /// Ascending, deduplicated equality-join columns of table `t` — the
@@ -313,7 +540,8 @@ std::vector<int> EquiJoinColumns(const QueryInfo& info, int t) {
 /// own HashIndex shard, so concurrent jobs share no growing allocation.
 std::pair<std::unique_ptr<HashIndex>, uint64_t> BuildColumnIndex(
     const std::vector<const Table*>& tables, int t, int col,
-    const std::vector<int32_t>& filtered) {
+    const std::vector<int32_t>& filtered, Scheduler* sched = nullptr,
+    int max_threads = 1) {
   auto index = std::make_unique<HashIndex>();
   uint64_t cost = 0;
   const Column& c = tables[static_cast<size_t>(t)]->column(col);
@@ -322,7 +550,7 @@ std::pair<std::unique_ptr<HashIndex>, uint64_t> BuildColumnIndex(
     index->Add(JoinKeyOf(c, filtered[p]), static_cast<int32_t>(p));
     ++cost;
   }
-  index->Build();
+  index->Build(sched, max_threads);
   return {std::move(index), cost};
 }
 
@@ -361,6 +589,86 @@ std::shared_ptr<const TableArtifact> BuildTableArtifact(
       auto [index, cost] = BuildColumnIndex(tables, t, col, artifact->filtered);
       artifact->build_cost += cost;
       artifact->indexes.emplace(col, std::move(index));
+    }
+  }
+  return artifact;
+}
+
+uint64_t ListScheduleMakespan(const std::vector<uint64_t>& costs,
+                              int threads) {
+  const size_t width = static_cast<size_t>(threads < 1 ? 1 : threads);
+  if (width <= 1) {
+    uint64_t sum = 0;
+    for (const uint64_t c : costs) sum += c;
+    return sum;
+  }
+  // Greedy list scheduling: each task, in order, lands on the least-loaded
+  // virtual worker (ties to the lowest index). Deterministic in the task
+  // order and width alone — never in the real pool's timing.
+  std::vector<uint64_t> load(width < costs.size() ? width : costs.size(), 0);
+  if (load.empty()) return 0;
+  for (const uint64_t c : costs) {
+    size_t best = 0;
+    for (size_t w = 1; w < load.size(); ++w) {
+      if (load[w] < load[best]) best = w;
+    }
+    load[best] += c;
+  }
+  uint64_t makespan = 0;
+  for (const uint64_t l : load) makespan = std::max(makespan, l);
+  return makespan;
+}
+
+std::shared_ptr<const TableArtifact> BuildTableArtifactParallel(
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const QueryInfo& info, int t, bool build_hash_indexes, Scheduler* sched,
+    int max_threads) {
+  if (sched == nullptr || max_threads <= 1) {
+    return BuildTableArtifact(tables, pool, info, t, build_hash_indexes);
+  }
+  auto artifact = std::make_shared<TableArtifact>();
+  const int64_t n = tables[static_cast<size_t>(t)]->num_rows();
+  const size_t morsels =
+      static_cast<size_t>((n + kFilterMorselRows - 1) / kFilterMorselRows);
+  const std::vector<const Expr*>& preds = info.unary_preds(t);
+  std::vector<std::pair<std::vector<int32_t>, uint64_t>> parts(morsels);
+  // Morsel-parallel filter scan; a table at most one morsel long runs on
+  // the caller thread without touching the dispatch queue.
+  sched->ParallelFor(
+      morsels, max_threads,
+      [&](size_t i) {
+        const int64_t begin = static_cast<int64_t>(i) * kFilterMorselRows;
+        const int64_t end = std::min(n, begin + kFilterMorselRows);
+        parts[i] = FilterMorsel(tables, pool, preds, t, begin, end);
+      },
+      /*min_grain=*/1);
+  // Concatenate in range order: bit-identical to the sequential scan, and
+  // morsel costs sum to exactly the sequential scan's cost.
+  size_t total = 0;
+  for (const auto& [rows, cost] : parts) total += rows.size();
+  artifact->filtered.reserve(total);
+  for (auto& [rows, cost] : parts) {
+    artifact->filtered.insert(artifact->filtered.end(), rows.begin(),
+                              rows.end());
+    artifact->build_cost += cost;
+  }
+  if (build_hash_indexes && !artifact->filtered.empty()) {
+    // Distinct columns stage concurrently (each into its own shard), and
+    // each column's Build() runs its partitioned phases on the same pool
+    // (ParallelFor nests safely — the caller participates).
+    const std::vector<int> cols = EquiJoinColumns(info, t);
+    std::vector<std::pair<std::unique_ptr<HashIndex>, uint64_t>> built(
+        cols.size());
+    sched->ParallelFor(
+        cols.size(), max_threads,
+        [&](size_t i) {
+          built[i] = BuildColumnIndex(tables, t, cols[i], artifact->filtered,
+                                      sched, max_threads);
+        },
+        /*min_grain=*/1);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      artifact->build_cost += built[i].second;
+      artifact->indexes.emplace(cols[i], std::move(built[i].first));
     }
   }
   return artifact;
@@ -444,65 +752,116 @@ Result<std::unique_ptr<PreparedQuery>> PreparedQuery::Prepare(
       fresh.push_back(t);
     }
   }
-  if (opts.parallel && fresh.size() > 1) {
-    // Phase A: filter every fresh table in parallel.
-    std::vector<std::shared_ptr<TableArtifact>> built(
-        static_cast<size_t>(m));
-    SchedParallelFor(opts.scheduler, fresh.size(), opts.num_threads,
-                     [&](size_t i) {
-      const int t = fresh[i];
-      auto artifact = std::make_shared<TableArtifact>();
-      auto [rows, cost] =
-          FilterTable(data->tables, pool, info->unary_preds(t), t);
-      artifact->filtered = std::move(rows);
-      artifact->build_cost = cost;
-      built[static_cast<size_t>(t)] = std::move(artifact);
-    });
+  if (opts.parallel && !fresh.empty()) {
+    // Execution width is leased from the scheduler's engine budget (under
+    // concurrent sessions a build degrades to fewer workers); the charged
+    // cost below stays pinned to the CONFIGURED width, so costs never
+    // depend on who else was running.
+    ThreadLease lease;
+    int width = std::max(opts.num_threads, 1);
+    if (opts.scheduler != nullptr && opts.num_threads > 1) {
+      lease = opts.scheduler->LeaseThreads(opts.num_threads);
+      width = std::max(1, lease.granted());
+    }
+    // Phase A: one job per (table, morsel) across EVERY fresh table, so a
+    // lone large table still splits and small tables cannot straggle.
+    struct FilterJob {
+      int t;
+      int64_t begin;
+      int64_t end;
+      std::vector<int32_t> rows;
+      uint64_t cost = 0;
+    };
+    std::vector<FilterJob> jobs;
+    std::vector<std::shared_ptr<TableArtifact>> built(static_cast<size_t>(m));
+    int64_t total_rows = 0;
+    for (int t : fresh) {
+      built[static_cast<size_t>(t)] = std::make_shared<TableArtifact>();
+      const int64_t n = data->tables[static_cast<size_t>(t)]->num_rows();
+      total_rows += n;
+      for (int64_t b = 0; b < n; b += kFilterMorselRows) {
+        jobs.push_back(
+            FilterJob{t, b, std::min(n, b + kFilterMorselRows), {}, 0});
+      }
+    }
+    // When the whole workload is under one morsel of rows, dispatching it
+    // would cost more than scanning it: run every job on this thread.
+    const size_t filter_grain =
+        total_rows <= kFilterMorselRows ? jobs.size() : size_t{1};
+    SchedParallelFor(
+        opts.scheduler, jobs.size(), width,
+        [&](size_t i) {
+          FilterJob& job = jobs[i];
+          auto [rows, cost] = FilterMorsel(data->tables, pool,
+                                           info->unary_preds(job.t), job.t,
+                                           job.begin, job.end);
+          job.rows = std::move(rows);
+          job.cost = cost;
+        },
+        filter_grain);
+    // Concatenate in (table, range) order — bit-identical to sequential
+    // scans — and collect per-morsel costs for the makespan model.
+    std::vector<uint64_t> filter_costs;
+    filter_costs.reserve(jobs.size());
+    for (FilterJob& job : jobs) {
+      TableArtifact& a = *built[static_cast<size_t>(job.t)];
+      a.filtered.insert(a.filtered.end(), job.rows.begin(), job.rows.end());
+      a.build_cost += job.cost;
+      filter_costs.push_back(job.cost);
+    }
     // Phase B: one job per (table, column) index, so a single wide table
     // cannot serialize the build and each worker stages into its own
-    // HashIndex shard (no contended/false-shared growing vector).
+    // HashIndex shard (no contended/false-shared growing vector). Large
+    // indexes additionally run their partitioned Build phases on the same
+    // pool (nested ParallelFor; the caller participates).
     struct IndexJob {
       int t;
       int col;
       std::unique_ptr<HashIndex> index;
       uint64_t cost = 0;
     };
-    std::vector<IndexJob> jobs;
+    std::vector<IndexJob> ijobs;
     if (opts.build_hash_indexes) {
       for (int t : fresh) {
         if (built[static_cast<size_t>(t)]->filtered.empty()) continue;
         for (int col : EquiJoinColumns(*info, t)) {
-          jobs.push_back(IndexJob{t, col, nullptr, 0});
+          ijobs.push_back(IndexJob{t, col, nullptr, 0});
         }
       }
     }
-    SchedParallelFor(opts.scheduler, jobs.size(), opts.num_threads,
-                     [&](size_t i) {
-      IndexJob& job = jobs[i];
-      auto [index, cost] = BuildColumnIndex(
-          data->tables, job.t, job.col,
-          built[static_cast<size_t>(job.t)]->filtered);
-      job.index = std::move(index);
-      job.cost = cost;
-    });
+    SchedParallelFor(
+        opts.scheduler, ijobs.size(), width,
+        [&](size_t i) {
+          IndexJob& job = ijobs[i];
+          auto [index, cost] = BuildColumnIndex(
+              data->tables, job.t, job.col,
+              built[static_cast<size_t>(job.t)]->filtered, opts.scheduler,
+              width);
+          job.index = std::move(index);
+          job.cost = cost;
+        },
+        /*min_grain=*/1);
     // Attach sequentially — unordered_map insertion is not thread-safe.
     // Cost totals are count-based and schedule-independent, so the values
     // match the sequential path exactly.
-    for (IndexJob& job : jobs) {
+    std::vector<uint64_t> index_costs;
+    index_costs.reserve(ijobs.size());
+    for (IndexJob& job : ijobs) {
       TableArtifact& a = *built[static_cast<size_t>(job.t)];
       a.build_cost += job.cost;
       a.indexes.emplace(job.col, std::move(job.index));
+      index_costs.push_back(job.cost);
     }
-    // Parallel cost counts the slowest table's build (wall-clock model),
-    // matching how the paper reports pre-processing speedups.
-    uint64_t max_cost = 0;
     for (int t : fresh) {
-      data->artifacts[static_cast<size_t>(t)] =
-          built[static_cast<size_t>(t)];
-      max_cost = std::max(max_cost,
-                          data->artifacts[static_cast<size_t>(t)]->build_cost);
+      data->artifacts[static_cast<size_t>(t)] = built[static_cast<size_t>(t)];
     }
-    data->preprocess_cost += max_cost;
+    // Parallel cost model: the deterministic list-scheduled makespan of the
+    // filter morsels plus that of the index jobs, at the CONFIGURED width.
+    // At num_threads <= 1 each makespan is exactly the cost sum, so the
+    // parallel path charges precisely what the sequential path would.
+    data->preprocess_cost +=
+        ListScheduleMakespan(filter_costs, opts.num_threads) +
+        ListScheduleMakespan(index_costs, opts.num_threads);
   } else {
     for (int t : fresh) {
       data->artifacts[static_cast<size_t>(t)] = BuildTableArtifact(

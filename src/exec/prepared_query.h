@@ -59,6 +59,18 @@ class StagingShard {
     }
   }
 
+  /// Block-granular random access (the partitioned Build routes staged
+  /// pairs morsel-by-morsel, one block per morsel, so workers touch
+  /// disjoint blocks). block(b) is valid for b < num_blocks().
+  size_t num_blocks() const { return (size_ + kBlockPairs - 1) / kBlockPairs; }
+  const std::pair<uint64_t, int32_t>* block(size_t b) const {
+    return blocks_[b]->pairs;
+  }
+  size_t block_size(size_t b) const {
+    const size_t remaining = size_ - b * kBlockPairs;
+    return remaining < kBlockPairs ? remaining : kBlockPairs;
+  }
+
   /// Exact heap footprint (whole blocks; the unit of allocation).
   size_t bytes() const {
     return blocks_.size() * sizeof(Block) +
@@ -138,7 +150,23 @@ class HashIndex {
 
   /// Freezes the staged pairs into the tag array + probe table + postings
   /// arena. Idempotent; must be called before Find().
-  void Build();
+  ///
+  /// Algorithm selection is a pure function of the DATA, never of the
+  /// execution width: small stagings run the classic 3-pass sequential
+  /// build; stagings large enough for >= 2 home-slot partitions run the
+  /// deterministic partitioned build (hash-partition the staged stream by
+  /// home-slot range, fill each partition's slot range independently,
+  /// spill boundary-crossing probe chains to a sequential pass), which the
+  /// scheduler overload below can execute morsel-parallel. Either way the
+  /// frozen layout — tags, slots, arena, bytes() — is bit-identical for
+  /// every worker count, because the partition count and every insertion
+  /// order within the algorithm depend only on the staged pairs.
+  void Build() { Build(nullptr, 1); }
+
+  /// As Build(), executing the partitioned phases on up to `max_threads`
+  /// workers of `sched` (caller participates; null scheduler or width 1
+  /// runs the same algorithm inline). Output is bit-identical to Build().
+  void Build(Scheduler* sched, int max_threads);
 
   /// The ascending position run for `key` (empty if no match). A thin
   /// wrapper over the single-key scalar probe — exact pre-vectorization
@@ -161,6 +189,12 @@ class HashIndex {
   size_t num_keys() const { return num_keys_; }
   /// Probe-table slots (0 before Build or for an empty index).
   size_t num_slots() const { return slots_.size(); }
+
+  /// Order-sensitive hash of the frozen layout (tags, slots, arena, mask):
+  /// two indexes fingerprint equal iff they are bit-identical. The
+  /// thread-count bit-identity property tests and bench_preprocess compare
+  /// artifacts built at different worker counts through this.
+  uint64_t Fingerprint() const;
 
   /// Exact heap footprint. Before Build() this is dominated by the staging
   /// shard's blocks; Build() releases the staging blocks, so the frozen
@@ -226,6 +260,25 @@ class HashIndex {
   /// Portable whole-batch kernel (the dispatch fallback).
   void FindBatchScalar(const uint64_t* keys, size_t n, Postings* out) const;
 
+  /// Slots per home-slot partition of the partitioned build; the staged
+  /// stream is routed by home slot / kPartitionSlots. Chosen so one
+  /// partition's slot+tag region (~64 KiB slots + 4 KiB tags) stays
+  /// cache-resident while a worker fills it.
+  static constexpr size_t kPartitionSlots = size_t{1} << 12;
+  static constexpr size_t kMaxPartitions = 64;
+  /// Partition count for a capacity: a pure function of the data-derived
+  /// table size (NEVER of worker count — determinism depends on it).
+  static size_t NumPartitions(size_t cap) {
+    const size_t p = cap / kPartitionSlots;
+    return p < kMaxPartitions ? p : kMaxPartitions;
+  }
+  /// The classic 3-pass sequential freeze (small stagings).
+  void BuildSequential();
+  /// The deterministic partitioned freeze (>= 2 partitions; optionally
+  /// morsel-parallel over `sched`).
+  void BuildPartitioned(size_t cap, size_t parts, Scheduler* sched,
+                        int max_threads);
+
   StagingShard staged_;  // released by Build()
   std::vector<Slot> slots_;
   std::vector<uint8_t> tags_;  // num_slots + kGroupWidth mirrored bytes
@@ -282,12 +335,47 @@ std::shared_ptr<const TableArtifact> BuildTableArtifact(
     const std::vector<const Table*>& tables, const StringPool* pool,
     const QueryInfo& info, int t, bool build_hash_indexes);
 
+/// As above, with the filter scan morsel-parallel and the hash-index
+/// builds partitioned over `sched` (null scheduler or width <= 1 runs
+/// inline). The artifact — surviving rows, index layout, build_cost — is
+/// bit-identical to the sequential build for every worker count; only
+/// wall-clock time changes. The concurrent claim-all path of
+/// PreparedStatement uses this so each claimed table builds parallel
+/// inside while distinct tables build concurrently.
+std::shared_ptr<const TableArtifact> BuildTableArtifactParallel(
+    const std::vector<const Table*>& tables, const StringPool* pool,
+    const QueryInfo& info, int t, bool build_hash_indexes, Scheduler* sched,
+    int max_threads);
+
+/// Rows per filter-scan morsel: the unit of parallel pre-processing work.
+/// Small enough that a handful of tables splits into far more morsels than
+/// workers (good balance), large enough that per-morsel bookkeeping is
+/// noise against evaluating predicates over 4096 rows.
+constexpr int64_t kFilterMorselRows = 4096;
+
+/// Deterministic makespan of list-scheduling `costs` (in order) onto
+/// `threads` virtual workers: each task goes to the least-loaded worker
+/// (ties to the lowest index); returns the maximum final load. This is the
+/// virtual-cost model of parallel pre-processing: schedule-independent —
+/// a pure function of the task costs and the CONFIGURED thread count, not
+/// of how many pool workers actually showed up — and exactly the cost sum
+/// when threads <= 1, so sequential and parallel-at-width-1 charge
+/// identically.
+uint64_t ListScheduleMakespan(const std::vector<uint64_t>& costs, int threads);
+
 /// Options controlling pre-processing.
 struct PrepareOptions {
   bool build_hash_indexes = true;
   /// Filter tables on multiple threads (paper Table 2/6: SkinnerDB
-  /// parallelizes the pre-processing step only).
+  /// parallelizes the pre-processing step only). Morsel-granular: every
+  /// fresh table's scan splits into kFilterMorselRows ranges and every
+  /// large index build partitions, so even a single-table query scales.
   bool parallel = false;
+  /// Configured pre-processing width. The charged virtual cost is the
+  /// deterministic list-scheduled makespan of the build tasks at exactly
+  /// this width (ListScheduleMakespan); the ACTUAL worker count is leased
+  /// from the scheduler's engine budget and may be smaller under load,
+  /// changing only wall-clock time — never costs or artifacts.
   int num_threads = 4;
   /// Worker pool hosting the parallel build (common/scheduler.h); null
   /// runs it inline on the calling thread. Either way the charged costs

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <sstream>
@@ -67,6 +68,13 @@ void AppendResultLines(const QueryOutput& out, std::string* text) {
   tail << "OK rows=" << out.result.rows.size()
        << " cost=" << out.stats.total_cost << "\n";
   text->append(tail.str());
+}
+
+/// Wall time of one admitted execution, in whole microseconds.
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
 }
 
 bool ValidName(const std::string& name) {
@@ -202,6 +210,40 @@ bool ServerCore::shutting_down() const {
   return shutting_down_;
 }
 
+void ServerCore::RecordLatency(uint64_t session_id, uint64_t micros) {
+  // Bucket = floor(log2(micros)), i.e. bucket b holds [2^b, 2^{b+1}) us;
+  // sub-microsecond latencies land in bucket 0.
+  size_t b = 0;
+  for (uint64_t v = micros >> 1; v != 0 && b + 1 < kLatencyBuckets; v >>= 1) {
+    ++b;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencyHist& h = latency_[session_id];
+  ++h.count;
+  ++h.buckets[b];
+}
+
+namespace {
+
+/// The q-quantile of a log2 histogram, reported as its bucket's upper
+/// bound in milliseconds (conservative: the true latency is below it).
+double HistQuantileMs(const std::array<uint64_t, 40>& buckets, uint64_t count,
+                      double q) {
+  if (count == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count) + 0.5);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target && seen > 0) {
+      return static_cast<double>(uint64_t{1} << (b + 1)) / 1000.0;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << buckets.size()) / 1000.0;
+}
+
+}  // namespace
+
 ServerStats ServerCore::stats() const {
   ServerStats s;
   {
@@ -214,6 +256,13 @@ ServerStats ServerCore::stats() const {
     s.queries_shed = queries_shed_;
     s.statements_prepared = statements_prepared_;
     s.cache_publish_throttled = cache_publish_throttled_;
+    for (const auto& [sid, h] : latency_) {
+      ServerStats::SessionLatency out;
+      out.count = h.count;
+      out.p50_ms = HistQuantileMs(h.buckets, h.count, 0.50);
+      out.p99_ms = HistQuantileMs(h.buckets, h.count, 0.99);
+      s.session_latency.emplace_back(sid, out);
+    }
   }
   s.scheduler = db_->scheduler()->stats();
   return s;
@@ -305,6 +354,7 @@ ServerResponse ServerConnection::HandleLine(const std::string& raw) {
 ServerResponse ServerConnection::RunQuery(const std::string& sql) {
   const ExecOptions eopts = EffectiveOptions();
   std::optional<Result<QueryOutput>> out;
+  const auto start = std::chrono::steady_clock::now();
   Status admitted = core_->db_->scheduler()->SubmitAndWait(
       session_->id(), [&] { out.emplace(session_->Query(sql, eopts)); });
   if (!admitted.ok()) {
@@ -312,6 +362,9 @@ ServerResponse ServerConnection::RunQuery(const std::string& sql) {
     ++core_->queries_shed_;
     return ErrorResponse(admitted);
   }
+  // Latency covers queueing + execution of every admitted query (errors
+  // included — the client waited either way); shed queries never ran.
+  core_->RecordLatency(session_->id(), ElapsedMicros(start));
   if (!out->ok()) {
     std::lock_guard<std::mutex> lock(core_->mu_);
     ++core_->queries_error_;
@@ -378,6 +431,7 @@ ServerResponse ServerConnection::RunExecute(const std::string& rest) {
   const ExecOptions eopts = EffectiveOptions();
   PreparedStatement* stmt = it->second.get();
   std::optional<Result<QueryOutput>> out;
+  const auto start = std::chrono::steady_clock::now();
   Status admitted = core_->db_->scheduler()->SubmitAndWait(
       session_->id(),
       [&] { out.emplace(stmt->Execute(params.value(), eopts)); });
@@ -386,6 +440,7 @@ ServerResponse ServerConnection::RunExecute(const std::string& rest) {
     ++core_->queries_shed_;
     return ErrorResponse(admitted);
   }
+  core_->RecordLatency(session_->id(), ElapsedMicros(start));
   if (!out->ok()) {
     std::lock_guard<std::mutex> lock(core_->mu_);
     ++core_->queries_error_;
@@ -426,8 +481,13 @@ ServerResponse ServerConnection::RunStats() {
      << "\n"
      << "STAT sched_leased_threads=" << s.scheduler.leased_threads << "\n"
      << "STAT sched_lease_grants=" << s.scheduler.lease_grants << "\n"
-     << "STAT sched_lease_capped=" << s.scheduler.lease_capped << "\n"
-     << "OK\n";
+     << "STAT sched_lease_capped=" << s.scheduler.lease_capped << "\n";
+  for (const auto& [sid, lat] : s.session_latency) {
+    os << "STAT session_" << sid << "_queries=" << lat.count << "\n"
+       << "STAT session_" << sid << "_p50_ms=" << lat.p50_ms << "\n"
+       << "STAT session_" << sid << "_p99_ms=" << lat.p99_ms << "\n";
+  }
+  os << "OK\n";
   return ServerResponse{os.str(), false, false};
 }
 

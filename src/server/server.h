@@ -1,6 +1,7 @@
 #ifndef SKINNER_SERVER_SERVER_H_
 #define SKINNER_SERVER_SERVER_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -49,6 +50,16 @@ struct ServerStats {
   uint64_t statements_prepared = 0;
   /// Executions forced cache_read_only by an exhausted byte share.
   uint64_t cache_publish_throttled = 0;
+  /// Per-session wall-clock latency of admitted Q/E executions, estimated
+  /// from log2-bucketed histograms (each percentile reports its bucket's
+  /// upper bound, so estimates are conservative and the accounting is O(1)
+  /// per query and O(buckets) per STATS call).
+  struct SessionLatency {
+    uint64_t count = 0;  // admitted executions measured
+    double p50_ms = 0;
+    double p99_ms = 0;
+  };
+  std::vector<std::pair<uint64_t, SessionLatency>> session_latency;  // by id
   Scheduler::Stats scheduler;
 };
 
@@ -116,6 +127,17 @@ class ServerCore {
  private:
   friend class ServerConnection;
 
+  /// log2 microsecond buckets: bucket b counts latencies in [2^b, 2^{b+1})
+  /// microseconds. 40 buckets cover up to ~2^41 us (~25 days) — effectively
+  /// unbounded for a query.
+  static constexpr size_t kLatencyBuckets = 40;
+  struct LatencyHist {
+    uint64_t count = 0;
+    std::array<uint64_t, kLatencyBuckets> buckets{};
+  };
+  /// Folds one admitted execution's wall time into its session's histogram.
+  void RecordLatency(uint64_t session_id, uint64_t micros);
+
   Database* const db_;
   const ServerOptions opts_;
 
@@ -129,6 +151,7 @@ class ServerCore {
   uint64_t queries_shed_ = 0;
   uint64_t statements_prepared_ = 0;
   uint64_t cache_publish_throttled_ = 0;
+  std::map<uint64_t, LatencyHist> latency_;  // by session id; guarded by mu_
 };
 
 /// One client connection: a Session plus protocol state. Created by

@@ -331,6 +331,35 @@ TEST(SchedulerLeaseTest, MoveTransfersAndReleaseIsIdempotent) {
   EXPECT_EQ(sched.stats().leased_threads, 0);
 }
 
+// A count at or below min_grain runs inline on the caller — sequential
+// ascending order, no dispatch bookkeeping — and is counted in pf_inline;
+// one index past the grain dispatches to the pool.
+TEST(SchedulerParallelForTest, MinGrainSelectsInlineFastPath) {
+  Scheduler sched;
+  const Scheduler::Stats before = sched.stats();
+
+  std::vector<size_t> order;
+  sched.ParallelFor(64, 4, [&](size_t i) { order.push_back(i); },
+                    /*min_grain=*/64);
+  ASSERT_EQ(order.size(), 64u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  Scheduler::Stats s = sched.stats();
+  EXPECT_EQ(s.pf_inline, before.pf_inline + 1);
+  EXPECT_EQ(s.pf_dispatched, before.pf_dispatched);
+
+  // Width 1 is also the inline path, whatever the count.
+  sched.ParallelFor(100, 1, [](size_t) {}, /*min_grain=*/0);
+  EXPECT_EQ(sched.stats().pf_inline, before.pf_inline + 2);
+
+  std::atomic<int> hits{0};
+  sched.ParallelFor(65, 4, [&](size_t) { hits.fetch_add(1); },
+                    /*min_grain=*/64);
+  EXPECT_EQ(hits.load(), 65);
+  s = sched.stats();
+  EXPECT_EQ(s.pf_inline, before.pf_inline + 2);
+  EXPECT_EQ(s.pf_dispatched, before.pf_dispatched + 1);
+}
+
 TEST(SchedulerStatsTest, PerSessionCountersTrack) {
   Scheduler sched;
   for (int i = 0; i < 3; ++i) {

@@ -142,6 +142,47 @@ TEST(ServerProtocolTest, StatsSurface) {
   EXPECT_TRUE(saw_sched);
 }
 
+// Per-session latency accounting: admitted Q/E executions land in the
+// session's log2 histogram and STATS reports count/p50/p99 per session.
+TEST(ServerProtocolTest, StatsReportSessionLatency) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+  const uint64_t sid = conn.value()->session_id();
+
+  for (int i = 0; i < 5; ++i) {
+    ServerResponse q = conn.value()->HandleLine("Q SELECT COUNT(*) FROM t");
+    EXPECT_EQ(Lines(q.text).back().rfind("OK ", 0), 0u);
+  }
+
+  ServerStats stats = core.stats();
+  bool found = false;
+  for (const auto& [id, lat] : stats.session_latency) {
+    if (id != sid) continue;
+    found = true;
+    EXPECT_EQ(lat.count, 5u);
+    EXPECT_GT(lat.p50_ms, 0.0);  // bucket upper bounds are never 0
+    EXPECT_LE(lat.p50_ms, lat.p99_ms);
+  }
+  EXPECT_TRUE(found);
+
+  const std::string prefix = "STAT session_" + std::to_string(sid) + "_";
+  ServerResponse r = conn.value()->HandleLine("STATS");
+  bool saw_queries = false;
+  bool saw_p50 = false;
+  bool saw_p99 = false;
+  for (const std::string& line : Lines(r.text)) {
+    if (line == prefix + "queries=5") saw_queries = true;
+    if (line.rfind(prefix + "p50_ms=", 0) == 0) saw_p50 = true;
+    if (line.rfind(prefix + "p99_ms=", 0) == 0) saw_p99 = true;
+  }
+  EXPECT_TRUE(saw_queries);
+  EXPECT_TRUE(saw_p50);
+  EXPECT_TRUE(saw_p99);
+}
+
 TEST(ServerLiteralTest, ParsesIntsDoublesStringsNull) {
   auto vals = ParseLiteralList("1 -2 3.5 NULL 'it''s' 'x y'");
   ASSERT_TRUE(vals.ok());
