@@ -93,6 +93,7 @@ ALL_BENCHES=(
   bench_trivial
   bench_batch
   bench_prepared
+  bench_mutation
   bench_preprocess
   bench_server
   bench_convergence

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# CI kill-in-the-middle recovery smoke test: run skinner_serve on a durable
+# database (--db --fsync), apply acknowledged DML over the wire, SIGKILL
+# the server (no clean shutdown, no checkpoint), restart it on the same
+# directory and assert every acknowledged statement survived replay. A
+# second round checkpoints, kills again, and verifies the checkpoint +
+# post-checkpoint WAL both recover.
+#
+#   scripts/recovery_smoke.sh [path/to/skinner_serve]
+set -euo pipefail
+
+SERVE="${1:-build/skinner_serve}"
+if [ ! -x "$SERVE" ]; then
+  echo "FAIL: $SERVE not found or not executable" >&2
+  exit 1
+fi
+SERVE="$(cd "$(dirname "$SERVE")" && pwd)/$(basename "$SERVE")"
+
+WORK="$(mktemp -d)"
+DB="$WORK/db"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {  # $1 = log file
+  "$SERVE" --port 0 --db "$DB" --fsync > "$1" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^LISTENING port=\([0-9]*\)$/\1/p' "$1")"
+    [ -n "$PORT" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "FAIL: server exited before listening" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$PORT" ]; then
+    echo "FAIL: server never announced its port" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
+
+expect() {  # $1 = file, $2 = literal line fragment
+  if ! grep -qF -- "$2" "$1"; then
+    echo "FAIL: transcript $1 is missing: $2" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
+
+# ---- Round 1: acked DML, then SIGKILL (torn shutdown, no checkpoint) ----
+start_server "$WORK/serve1.log"
+"$SERVE" --client 127.0.0.1 "$PORT" > "$WORK/client1.out" <<'EOF'
+X CREATE TABLE accounts (id INT, owner STRING, balance DOUBLE)
+X INSERT INTO accounts VALUES (1, 'ada', 10.0), (2, 'bob', 20.0), (3, 'cal', 30.0), (4, 'dee', 40.0)
+X UPDATE accounts SET balance = balance + 5.0 WHERE id <= 2
+X DELETE FROM accounts WHERE id = 4
+Q SELECT COUNT(*) FROM accounts
+Q SELECT COUNT(*) FROM accounts WHERE balance = 15.0
+QUIT
+EOF
+expect "$WORK/client1.out" 'ROW 3'
+expect "$WORK/client1.out" 'ROW 1'
+# Every statement above was acknowledged; a torn death must lose none.
+disown "$SERVER_PID" 2>/dev/null || true  # silence bash's "Killed" report
+kill -9 "$SERVER_PID"
+while kill -0 "$SERVER_PID" 2>/dev/null; do sleep 0.05; done
+SERVER_PID=""
+
+# ---- Round 2: recover, verify, checkpoint, more DML, SIGKILL again ----
+start_server "$WORK/serve2.log"
+expect "$WORK/serve2.log" 'RECOVERED records='
+"$SERVE" --client 127.0.0.1 "$PORT" > "$WORK/client2.out" <<'EOF'
+Q SELECT COUNT(*) FROM accounts
+Q SELECT COUNT(*) FROM accounts WHERE balance = 15.0
+Q SELECT COUNT(*) FROM accounts WHERE id = 4
+CHECKPOINT
+X UPDATE accounts SET owner = 'eve' WHERE id = 3
+STATS
+QUIT
+EOF
+expect "$WORK/client2.out" 'ROW 3'
+expect "$WORK/client2.out" 'ROW 1'
+expect "$WORK/client2.out" 'ROW 0'
+expect "$WORK/client2.out" 'OK checkpoints=1'
+expect "$WORK/client2.out" 'STAT wal_appends='
+disown "$SERVER_PID" 2>/dev/null || true  # silence bash's "Killed" report
+kill -9 "$SERVER_PID"
+while kill -0 "$SERVER_PID" 2>/dev/null; do sleep 0.05; done
+SERVER_PID=""
+
+# ---- Round 3: recover checkpoint + post-checkpoint WAL, clean shutdown ----
+start_server "$WORK/serve3.log"
+expect "$WORK/serve3.log" 'RECOVERED records='
+"$SERVE" --client 127.0.0.1 "$PORT" > "$WORK/client3.out" <<'EOF'
+Q SELECT COUNT(*) FROM accounts
+Q SELECT COUNT(*) FROM accounts WHERE owner = 'eve'
+STATS
+SHUTDOWN
+EOF
+expect "$WORK/client3.out" 'ROW 3'
+expect "$WORK/client3.out" 'ROW 1'
+expect "$WORK/client3.out" 'STAT recovery_replayed_records='
+expect "$WORK/client3.out" 'OK draining'
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: server exited non-zero after SHUTDOWN" >&2
+  cat "$WORK/serve3.log" >&2
+  exit 1
+fi
+SERVER_PID=""
+expect "$WORK/serve3.log" 'shutdown complete'
+
+echo "PASS: recovery smoke (2 SIGKILLs survived, checkpoint + WAL replayed)"

@@ -57,6 +57,11 @@ X INSERT INTO u VALUES (10), (20)
 Q SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b
 P s SELECT a FROM t WHERE b = ? ORDER BY a
 E s 'x'
+X UPDATE t SET b = 'z' WHERE a = 2
+Q SELECT COUNT(*) FROM t WHERE b = 'z'
+X DELETE FROM u WHERE v = 10
+Q SELECT COUNT(*) FROM u
+CHECKPOINT
 Q SELECT COUNT(*) FROM missing
 STATS
 SHUTDOWN
@@ -84,7 +89,12 @@ expect 'OK params=1'
 expect 'ROW 1'
 expect 'ROW 3'
 expect 'ERR BIND'
+expect 'OK checkpoints=1'
 expect 'STAT sched_workers='
+expect 'STAT wal_appends='
+expect 'STAT wal_bytes='
+expect 'STAT recovery_replayed_records='
+expect 'STAT checkpoints=1'
 expect 'OK draining'
 grep -qF 'shutdown complete' "$WORK/serve.log" || {
   echo "FAIL: server did not report a clean shutdown" >&2

@@ -12,11 +12,13 @@
 #include "baselines/reopt.h"
 #include "exec/prepared_cache.h"
 #include "post/post_processor.h"
+#include "exec/mutation.h"
 #include "skinner/skinner_c.h"
 #include "skinner/skinner_g.h"
 #include "skinner/skinner_h.h"
 #include "sql/parser.h"
 #include "stats/estimator.h"
+#include "txn/wal.h"
 
 namespace skinner {
 
@@ -142,6 +144,14 @@ struct ExecutionStats {
   int replans = 0;           // kReopt
   uint64_t iterations = 0;   // kSkinnerG batch iterations
   double estimated_cost = 0; // optimizer's estimate for its chosen plan
+
+  // Durability (mutation executions; 0 on SELECTs). Appends/bytes are the
+  // WAL frames this statement wrote; replayed/checkpoints are database
+  // lifetime totals at execution time.
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t recovery_replayed_records = 0;
+  uint64_t checkpoints = 0;
 };
 
 struct QueryOutput {
@@ -204,6 +214,36 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Opens (or creates) a durable database rooted at directory `dir`:
+  /// loads the last checkpoint snapshot (`checkpoint.skdb`), replays the
+  /// write-ahead log (`wal.log`, truncating any torn tail), and attaches a
+  /// WAL writer so every subsequent DDL/DML is logged. A database built
+  /// with the plain constructors is in-memory only (no WAL, Checkpoint()
+  /// compacts but persists nothing).
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& dir, FsyncPolicy fsync = FsyncPolicy::kNever,
+      const SchedulerOptions& scheduler_opts = {});
+
+  /// Compacts every table's validity mask and — for a durable database —
+  /// atomically writes a fresh snapshot and resets the WAL. Serialized
+  /// against queries and DML via the exclusive DDL lock.
+  Status Checkpoint();
+
+  /// Durability counters (this process's appends; lifetime replay count).
+  struct WalStats {
+    uint64_t wal_appends = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t recovery_replayed_records = 0;
+    uint64_t checkpoints = 0;
+  };
+  WalStats wal_stats() const {
+    return WalStats{wal_appends_.load(std::memory_order_relaxed),
+                    wal_bytes_.load(std::memory_order_relaxed),
+                    recovery_replayed_.load(std::memory_order_relaxed),
+                    checkpoints_.load(std::memory_order_relaxed)};
+  }
+  bool durable() const { return wal_ != nullptr; }
+
   Catalog* catalog() { return &catalog_; }
   UdfRegistry* udfs() { return &udfs_; }
   StatsManager* stats_manager() { return &stats_; }
@@ -228,7 +268,10 @@ class Database {
   /// Query()/QueryBatch() run on.
   Session* default_session() { return default_session_.get(); }
 
-  /// Executes a DDL/DML statement (CREATE TABLE / INSERT / DROP TABLE).
+  /// Executes a DDL/DML statement (CREATE TABLE / INSERT / DROP TABLE /
+  /// UPDATE / DELETE). Statements with `?` parameters are rejected — use
+  /// Session::Prepare for parameterized DML. On a durable database every
+  /// applied change is WAL-logged before this returns.
   Status Execute(const std::string& sql);
 
   /// Executes a SELECT and returns rows plus execution statistics.
@@ -266,6 +309,15 @@ class Database {
   std::vector<Result<QueryOutput>> QueryBatchInternal(
       const std::vector<BatchItem>& items, const BatchOptions& opts);
 
+  /// Computes, applies and logs one bound UPDATE/DELETE, returning the
+  /// rows_affected result row + stats. Caller must hold ddl_mu_ exclusive
+  /// (Execute() and PreparedStatement's mutation path do).
+  Result<QueryOutput> ExecuteMutationLocked(const BoundMutation& m);
+  /// Applies one replayed WAL record during Open().
+  Status ApplyWalRecord(const WalRecord& record);
+  /// Appends `record` and refreshes the published counters.
+  Status LogRecord(WalRecord* record);
+
   Catalog catalog_;
   UdfRegistry udfs_;
   StatsManager stats_;
@@ -282,6 +334,16 @@ class Database {
   mutable std::shared_mutex ddl_mu_;
   std::atomic<uint64_t> next_session_id_{1};
   std::unique_ptr<Session> default_session_;  // constructed in database.cc
+
+  /// Durability (null for in-memory databases). All appends happen under
+  /// ddl_mu_ exclusive; the atomics republish the writer's counters so
+  /// STATS readers never race a DML in flight.
+  std::unique_ptr<WalWriter> wal_;
+  std::string storage_dir_;
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> recovery_replayed_{0};
+  std::atomic<uint64_t> checkpoints_{0};
 };
 
 }  // namespace skinner

@@ -43,19 +43,40 @@ PreparedStatement::PreparedStatement(Session* session, std::string sql,
       sql_(std::move(sql)),
       template_(std::move(template_query)) {}
 
+PreparedStatement::PreparedStatement(Session* session, std::string sql,
+                                     std::unique_ptr<BoundMutation> mutation)
+    : session_(session),
+      db_(session->database()),
+      sql_(std::move(sql)),
+      mutation_(std::move(mutation)) {}
+
 PreparedStatement::~PreparedStatement() = default;
 
-int PreparedStatement::num_params() const { return template_->num_params; }
+int PreparedStatement::num_params() const {
+  return mutation_ != nullptr ? mutation_->num_params : template_->num_params;
+}
 
 DataType PreparedStatement::param_type(int i) const {
-  return template_->param_types[static_cast<size_t>(i)];
+  const auto& types =
+      mutation_ != nullptr ? mutation_->param_types : template_->param_types;
+  return types[static_cast<size_t>(i)];
 }
 
 bool PreparedStatement::param_type_known(int i) const {
-  return template_->param_known[static_cast<size_t>(i)];
+  const auto& known =
+      mutation_ != nullptr ? mutation_->param_known : template_->param_known;
+  return known[static_cast<size_t>(i)];
 }
 
 Status PreparedStatement::Init() {
+  if (mutation_ != nullptr) {
+    // DML statements have no template signature or artifact keys — just
+    // the target table's identity for staleness detection.
+    table_names_.push_back(mutation_->table->name());
+    table_ptrs_.push_back(mutation_->table);
+    table_ids_.push_back(mutation_->table->id());
+    return Status::OK();
+  }
   template_sig_ = ComputeQuerySignature(*template_);
 
   // Which parameters key which table's artifact: exactly the ordinals
@@ -79,20 +100,21 @@ Status PreparedStatement::Init() {
 }
 
 Status PreparedStatement::CheckParams(const std::vector<Value>& params) const {
-  if (static_cast<int>(params.size()) != template_->num_params) {
+  if (static_cast<int>(params.size()) != num_params()) {
     return Status::InvalidArgument(StrFormat(
-        "statement expects %d parameters, got %zu", template_->num_params,
+        "statement expects %d parameters, got %zu", num_params(),
         params.size()));
   }
   for (size_t i = 0; i < params.size(); ++i) {
     const Value& v = params[i];
-    if (v.is_null() || !template_->param_known[i]) continue;  // NULL binds anywhere
-    const bool want_str = template_->param_types[i] == DataType::kString;
+    const int idx = static_cast<int>(i);
+    if (v.is_null() || !param_type_known(idx)) continue;  // NULL binds anywhere
+    const bool want_str = param_type(idx) == DataType::kString;
     const bool got_str = v.type() == DataType::kString;
     if (want_str != got_str) {
       return Status::TypeError(StrFormat(
           "parameter %zu expects %s, got %s", i,
-          DataTypeName(template_->param_types[i]), DataTypeName(v.type())));
+          DataTypeName(param_type(idx)), DataTypeName(v.type())));
     }
   }
   return Status::OK();
@@ -333,8 +355,36 @@ Result<QueryOutput> PreparedStatement::Execute(const std::vector<Value>& params)
   return Execute(params, session_->defaults());
 }
 
+Result<QueryOutput> PreparedStatement::ExecuteMutation(
+    const std::vector<Value>& params) {
+  // DML mutates table data: exclusive, like Database::Execute — waits for
+  // running queries, blocks new ones for the (tiny) apply+log window.
+  std::unique_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
+  auto run = [&]() -> Result<QueryOutput> {
+    SKINNER_RETURN_IF_ERROR(CheckParams(params));
+    SKINNER_RETURN_IF_ERROR(CheckFreshness());
+    std::unique_ptr<BoundMutation> m = mutation_->Clone();
+    StringPool* pool = db_->catalog()->string_pool();
+    for (auto& sc : m->sets) SubstituteParams(sc.expr.get(), params, pool);
+    if (m->where != nullptr) SubstituteParams(m->where.get(), params, pool);
+    m->num_params = 0;
+    m->param_types.clear();
+    m->param_known.clear();
+    for (auto& sc : m->sets) SKINNER_RETURN_IF_ERROR(RebindTypes(sc.expr.get()));
+    if (m->where != nullptr) {
+      SKINNER_RETURN_IF_ERROR(RebindTypes(m->where.get()));
+    }
+    return db_->ExecuteMutationLocked(*m);
+  };
+  Result<QueryOutput> out = run();
+  ddl_lock.unlock();
+  session_->Roll(out);
+  return out;
+}
+
 Result<QueryOutput> PreparedStatement::Execute(const std::vector<Value>& params,
                                                const ExecOptions& opts) {
+  if (mutation_ != nullptr) return ExecuteMutation(params);
   ExecOptions eopts = opts;
   eopts.seed = session_->DeriveSeed(opts.seed);
   // Statements always share prepared state — that is their point — and
@@ -359,6 +409,19 @@ std::vector<Result<QueryOutput>> PreparedStatement::ExecuteMany(
     const std::vector<std::vector<Value>>& param_sets,
     const BatchOptions& bopts, const ExecOptions& base_opts) {
   const size_t n = param_sets.size();
+  if (mutation_ != nullptr) {
+    // The batch path holds the DDL lock shared for its whole run; DML
+    // needs it exclusive. Executing mutations one at a time via Execute()
+    // is equivalent anyway (there is nothing to parallelize).
+    std::vector<Result<QueryOutput>> rejected;
+    rejected.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rejected.push_back(Status::InvalidArgument(
+          "ExecuteBatch supports SELECT statements only; execute "
+          "UPDATE/DELETE statements one at a time"));
+    }
+    return rejected;
+  }
   Scheduler* sched =
       bopts.scheduler != nullptr ? bopts.scheduler : db_->scheduler();
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),

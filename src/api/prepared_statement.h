@@ -35,6 +35,12 @@ struct PreparedStage;
 /// (string vs numeric) contradicts the slot's inferred type — or the
 /// substituted expression tree's re-typecheck — yields an error Status.
 ///
+/// A statement may also wrap a `?`-parameterized UPDATE or DELETE (the
+/// only way to run parameterized DML — Database::Execute rejects `?`).
+/// Mutation executions take the database's DDL lock exclusively, apply
+/// and WAL-log the change, and return one `rows_affected` row; none of
+/// the SELECT-side caching machinery above applies.
+///
 /// Thread-safety: like a driver statement handle, one execution at a
 /// time per statement (string parameters intern into the shared pool);
 /// use Session::ExecuteBatch for concurrency — it serializes binding and
@@ -68,6 +74,8 @@ class PreparedStatement {
 
   PreparedStatement(Session* session, std::string sql,
                     std::unique_ptr<BoundQuery> template_query);
+  PreparedStatement(Session* session, std::string sql,
+                    std::unique_ptr<BoundMutation> mutation);
 
   /// Post-bind analysis: template signature, per-table parameter sets,
   /// table identities for staleness checks.
@@ -92,10 +100,16 @@ class PreparedStatement {
       const std::vector<std::vector<Value>>& param_sets,
       const BatchOptions& bopts, const ExecOptions& base_opts);
 
+  /// The DML execution core (caller-agnostic parts shared by Execute and
+  /// ExecuteMany's rejection path).
+  Result<QueryOutput> ExecuteMutation(const std::vector<Value>& params);
+
   Session* const session_;
   Database* const db_;
   const std::string sql_;
+  /// Exactly one of template_ (SELECT) / mutation_ (UPDATE/DELETE) is set.
   std::unique_ptr<BoundQuery> template_;
+  std::unique_ptr<BoundMutation> mutation_;
   std::string template_sig_;
   /// Per FROM table: the sorted ordinals of parameters appearing in that
   /// table's unary predicates (the values that key its artifact).

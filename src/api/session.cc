@@ -89,9 +89,22 @@ std::vector<Result<QueryOutput>> Session::QueryBatch(
 Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
     const std::string& sql) {
   std::shared_lock<std::shared_mutex> ddl_lock(db_->ddl_mu_);
+  SKINNER_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind == Statement::Kind::kUpdate ||
+      stmt.kind == Statement::Kind::kDelete) {
+    Result<BoundMutation> bound =
+        stmt.kind == Statement::Kind::kUpdate
+            ? BindUpdate(stmt.update.get(), db_->catalog(), db_->udfs())
+            : BindDelete(stmt.del.get(), db_->catalog(), db_->udfs());
+    if (!bound.ok()) return bound.status();
+    std::unique_ptr<PreparedStatement> handle(new PreparedStatement(
+        this, sql, std::make_unique<BoundMutation>(bound.MoveValue())));
+    SKINNER_RETURN_IF_ERROR(handle->Init());
+    RollPrepared();
+    return handle;
+  }
   QueryPipeline pipeline(db_->catalog(), db_->udfs(), db_->stats_manager(),
                          db_->prepared_cache(), db_->scheduler());
-  SKINNER_ASSIGN_OR_RETURN(Statement stmt, pipeline.Parse(sql));
   SKINNER_ASSIGN_OR_RETURN(BoundStage bound, pipeline.Bind(std::move(stmt)));
   std::unique_ptr<PreparedStatement> handle(
       new PreparedStatement(this, sql, std::move(bound.query)));

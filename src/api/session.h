@@ -79,8 +79,9 @@ class Session {
   std::vector<Result<QueryOutput>> QueryBatch(const std::vector<BatchItem>& items,
                                               const BatchOptions& opts = {});
 
-  /// Parses and binds a `?`-parameterized SELECT into a reusable
-  /// statement handle. The statement must not outlive this session.
+  /// Parses and binds a `?`-parameterized SELECT, UPDATE or DELETE into a
+  /// reusable statement handle (the only way to run parameterized DML).
+  /// The statement must not outlive this session.
   Result<std::unique_ptr<PreparedStatement>> Prepare(const std::string& sql);
 
   /// Executes `stmt` once per parameter set, `opts.num_workers` at a

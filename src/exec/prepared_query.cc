@@ -497,8 +497,14 @@ std::pair<std::vector<int32_t>, uint64_t> FilterMorsel(
   ctx.pool = pool;
   ctx.rows = binding.data();
   ctx.clock = &local;
+  // Deleted rows are filtered out here — every downstream consumer (join
+  // engines, indexes) sees artifact positions only. `masked` is hoisted so
+  // a fully-valid table takes the exact pre-mutation path and cost.
+  const Table* tab = tables[static_cast<size_t>(t)];
+  const bool masked = tab->has_deletes();
   for (int64_t r = begin; r < end; ++r) {
     ++cost;
+    if (masked && !tab->IsRowValid(r)) continue;
     binding[static_cast<size_t>(t)] = r;
     bool pass = true;
     for (const Expr* p : preds) {

@@ -264,6 +264,11 @@ ServerStats ServerCore::stats() const {
       s.session_latency.emplace_back(sid, out);
     }
   }
+  const Database::WalStats w = db_->wal_stats();
+  s.wal_appends = w.wal_appends;
+  s.wal_bytes = w.wal_bytes;
+  s.recovery_replayed_records = w.recovery_replayed_records;
+  s.checkpoints = w.checkpoints;
   s.scheduler = db_->scheduler()->stats();
   return s;
 }
@@ -340,6 +345,18 @@ ServerResponse ServerConnection::HandleLine(const std::string& raw) {
     }
     ++core_->queries_ok_;
     return ServerResponse{"OK\n", false, false};
+  }
+  if (cmd == "CHECKPOINT") {
+    Status st = core_->db_->Checkpoint();
+    std::lock_guard<std::mutex> lock(core_->mu_);
+    if (!st.ok()) {
+      ++core_->queries_error_;
+      return ErrorResponse(st);
+    }
+    ++core_->queries_ok_;
+    std::ostringstream os;
+    os << "OK checkpoints=" << core_->db_->wal_stats().checkpoints << "\n";
+    return ServerResponse{os.str(), false, false};
   }
   if (cmd == "P") {
     return RunPrepare(rest);
@@ -468,6 +485,11 @@ ServerResponse ServerConnection::RunStats() {
      << "STAT statements_prepared=" << s.statements_prepared << "\n"
      << "STAT cache_publish_throttled=" << s.cache_publish_throttled << "\n"
      << "STAT cache_bytes_used=" << cache_bytes_used_ << "\n"
+     << "STAT wal_appends=" << s.wal_appends << "\n"
+     << "STAT wal_bytes=" << s.wal_bytes << "\n"
+     << "STAT recovery_replayed_records=" << s.recovery_replayed_records
+     << "\n"
+     << "STAT checkpoints=" << s.checkpoints << "\n"
      << "STAT sched_workers=" << s.scheduler.workers << "\n"
      << "STAT sched_submitted=" << s.scheduler.submitted << "\n"
      << "STAT sched_completed=" << s.scheduler.completed << "\n"

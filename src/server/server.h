@@ -50,6 +50,12 @@ struct ServerStats {
   uint64_t statements_prepared = 0;
   /// Executions forced cache_read_only by an exhausted byte share.
   uint64_t cache_publish_throttled = 0;
+  /// Durability counters mirrored from Database::wal_stats() (all zero for
+  /// an in-memory database).
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t recovery_replayed_records = 0;
+  uint64_t checkpoints = 0;
   /// Per-session wall-clock latency of admitted Q/E executions, estimated
   /// from log2-bucketed histograms (each percentile reports its bucket's
   /// upper bound, so estimates are conservative and the accounting is O(1)
@@ -85,9 +91,12 @@ class ServerConnection;
 ///
 /// Protocol (line-oriented; see HandleLine):
 ///   Q <select sql>          -> ROW <v1>\t<v2>... lines, then OK rows=N cost=C
-///   X <ddl/dml sql>         -> OK
-///   P <name> <sql with ?>   -> OK params=K
+///   X <ddl/dml sql>         -> OK (CREATE/INSERT/DROP/UPDATE/DELETE; DML
+///                              runs under the exclusive DDL lock and is
+///                              WAL-logged on a durable database)
+///   P <name> <sql with ?>   -> OK params=K (SELECT, UPDATE or DELETE)
 ///   E <name> <literals>     -> ROW lines, then OK rows=N cost=C
+///   CHECKPOINT              -> OK checkpoints=N (compact + snapshot + WAL reset)
 ///   STATS                   -> STAT key=value lines, then OK
 ///   PING                    -> OK
 ///   QUIT                    -> OK bye (connection closes)

@@ -4,7 +4,7 @@
 // server/server.h for the line protocol).
 //
 //   skinner_serve [--port N] [--workers N] [--queue N] [--inflight N]
-//                 [--max-sessions N] [--init FILE]
+//                 [--max-sessions N] [--init FILE] [--db DIR] [--fsync]
 //   skinner_serve --client HOST PORT
 //
 // --port 0 binds an ephemeral port; the bound port is always announced as
@@ -13,6 +13,11 @@
 // DML statements of FILE before serving (schema + data setup). The server
 // exits after a client issues SHUTDOWN (graceful: admitted queries
 // finish).
+//
+// --db DIR serves a durable database rooted at DIR: the last checkpoint
+// snapshot is loaded, the write-ahead log replayed (recovery), and every
+// DDL/DML is WAL-logged. --fsync additionally fsyncs each WAL append
+// (FsyncPolicy::kAlways). Without --db the database is in-memory.
 //
 // --client: a minimal scripted client — reads protocol lines from stdin,
 // sends each, prints response lines until the terminal OK/ERR line.
@@ -29,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -42,7 +48,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: skinner_serve [--port N] [--workers N] [--queue N]\n"
                "                     [--inflight N] [--max-sessions N]\n"
-               "                     [--init FILE]\n"
+               "                     [--init FILE] [--db DIR] [--fsync]\n"
                "       skinner_serve --client HOST PORT\n");
   return 2;
 }
@@ -167,6 +173,8 @@ int main(int argc, char** argv) {
   int port = 4711;
   int max_sessions = 64;
   std::string init_file;
+  std::string db_dir;
+  skinner::FsyncPolicy fsync = skinner::FsyncPolicy::kNever;
   skinner::SchedulerOptions sched;
 
   for (int i = 1; i < argc; ++i) {
@@ -195,13 +203,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--init") {
       if (i + 1 >= argc) return Usage();
       init_file = argv[++i];
+    } else if (arg == "--db") {
+      if (i + 1 >= argc) return Usage();
+      db_dir = argv[++i];
+    } else if (arg == "--fsync") {
+      fsync = skinner::FsyncPolicy::kAlways;
     } else {
       return Usage();
     }
   }
 
-  skinner::Database db(sched);
-  if (!init_file.empty() && !RunInitFile(&db, init_file)) return 1;
+  std::unique_ptr<skinner::Database> db;
+  if (db_dir.empty()) {
+    db = std::make_unique<skinner::Database>(sched);
+  } else {
+    auto opened = skinner::Database::Open(db_dir, fsync, sched);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", db_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = opened.MoveValue();
+    std::printf("RECOVERED records=%llu\n",
+                static_cast<unsigned long long>(
+                    db->wal_stats().recovery_replayed_records));
+  }
+  if (!init_file.empty() && !RunInitFile(db.get(), init_file)) return 1;
 
   skinner::ServerOptions opts;
   opts.max_sessions = max_sessions;
@@ -209,7 +236,7 @@ int main(int argc, char** argv) {
   // per session by the cache byte-share quota).
   opts.defaults.use_prepared_cache = true;
 
-  skinner::ServerCore core(&db, opts);
+  skinner::ServerCore core(db.get(), opts);
   skinner::TcpServer server(&core);
   skinner::Status st = server.Start(port);
   if (!st.ok()) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expr/expr.h"
@@ -58,14 +59,38 @@ struct DropTableStmt {
   std::string name;
 };
 
+/// UPDATE t SET col = expr [, col = expr]* [WHERE cond]. SET expressions
+/// may reference the table's own columns (evaluated against the
+/// pre-update row) and `?` parameters.
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> sets;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
+/// DELETE FROM t [WHERE cond].
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;  // may be null
+};
+
 /// Any parsed SQL statement.
 struct Statement {
-  enum class Kind { kSelect, kCreateTable, kInsert, kDropTable };
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kInsert,
+    kDropTable,
+    kUpdate,
+    kDelete
+  };
   Kind kind;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<CreateTableStmt> create;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<DropTableStmt> drop;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
 };
 
 }  // namespace skinner

@@ -12,8 +12,15 @@ class Binder {
       : catalog_(catalog), udfs_(udfs) {}
 
   Result<BoundQuery> Bind(SelectStmt* stmt);
+  Result<BoundMutation> BindUpdateStmt(UpdateStmt* stmt);
+  Result<BoundMutation> BindDeleteStmt(DeleteStmt* stmt);
 
  private:
+  /// Resolves the single target table of a mutation into out_.tables so
+  /// the SELECT column-resolution machinery applies unchanged.
+  Result<Table*> BindMutationTarget(const std::string& name);
+  /// Moves the shared parameter-inference state into `m`.
+  void FinishMutation(BoundMutation* m);
   Status BindExpr(Expr* e);
   Status BindColumnRef(Expr* e);
 
@@ -381,12 +388,117 @@ Result<BoundQuery> Binder::Bind(SelectStmt* stmt) {
   return std::move(out_);
 }
 
+Result<Table*> Binder::BindMutationTarget(const std::string& name) {
+  Table* t = catalog_->FindTable(name);
+  if (t == nullptr) {
+    return Status::BindError("unknown table: " + name);
+  }
+  out_.tables.push_back(BoundTable{t, name});
+  return t;
+}
+
+void Binder::FinishMutation(BoundMutation* m) {
+  m->num_params = out_.num_params;
+  m->param_types = std::move(out_.param_types);
+  m->param_known = std::move(out_.param_known);
+}
+
+Result<BoundMutation> Binder::BindUpdateStmt(UpdateStmt* stmt) {
+  BoundMutation m;
+  m.kind = Statement::Kind::kUpdate;
+  m.table_name = stmt->table;
+  SKINNER_ASSIGN_OR_RETURN(m.table, BindMutationTarget(stmt->table));
+  for (auto& [col_name, expr] : stmt->sets) {
+    BoundMutation::SetClause sc;
+    sc.column_idx = m.table->schema().FindColumn(col_name);
+    if (sc.column_idx < 0) {
+      return Status::BindError("no column " + col_name + " in " + stmt->table);
+    }
+    const DataType col_type = m.table->schema().column(sc.column_idx).type;
+    // A bare `SET col = ?` has no expression context to infer from — the
+    // column's own type is the context.
+    if (expr->kind == ExprKind::kParam) {
+      SKINNER_RETURN_IF_ERROR(SetParamType(expr.get(), col_type));
+    }
+    SKINNER_RETURN_IF_ERROR(BindExpr(expr.get()));
+    if (expr->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in SET");
+    }
+    // Storage coercion handles numeric<->numeric; string vs numeric is the
+    // same class error AppendValue would raise, caught at bind time. NULL
+    // literals and open params defer to the executor.
+    auto is_str = [](DataType t) { return t == DataType::kString; };
+    bool null_lit =
+        expr->kind == ExprKind::kLiteral && expr->literal.is_null();
+    if (!null_lit && !IsOpenParam(*expr) &&
+        is_str(expr->out_type) != is_str(col_type)) {
+      return Status::TypeError("cannot assign " + expr->ToString() +
+                               " to column " + col_name);
+    }
+    sc.expr = std::move(expr);
+    m.sets.push_back(std::move(sc));
+  }
+  if (stmt->where != nullptr) {
+    SKINNER_RETURN_IF_ERROR(BindExpr(stmt->where.get()));
+    if (stmt->where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    m.where = std::move(stmt->where);
+  }
+  FinishMutation(&m);
+  return m;
+}
+
+Result<BoundMutation> Binder::BindDeleteStmt(DeleteStmt* stmt) {
+  BoundMutation m;
+  m.kind = Statement::Kind::kDelete;
+  m.table_name = stmt->table;
+  SKINNER_ASSIGN_OR_RETURN(m.table, BindMutationTarget(stmt->table));
+  if (stmt->where != nullptr) {
+    SKINNER_RETURN_IF_ERROR(BindExpr(stmt->where.get()));
+    if (stmt->where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    m.where = std::move(stmt->where);
+  }
+  FinishMutation(&m);
+  return m;
+}
+
 }  // namespace
 
 Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
                               const UdfRegistry* udfs) {
   Binder binder(catalog, udfs);
   return binder.Bind(stmt);
+}
+
+Result<BoundMutation> BindUpdate(UpdateStmt* stmt, Catalog* catalog,
+                                 const UdfRegistry* udfs) {
+  Binder binder(catalog, udfs);
+  return binder.BindUpdateStmt(stmt);
+}
+
+Result<BoundMutation> BindDelete(DeleteStmt* stmt, Catalog* catalog,
+                                 const UdfRegistry* udfs) {
+  Binder binder(catalog, udfs);
+  return binder.BindDeleteStmt(stmt);
+}
+
+std::unique_ptr<BoundMutation> BoundMutation::Clone() const {
+  auto m = std::make_unique<BoundMutation>();
+  m->kind = kind;
+  m->table = table;
+  m->table_name = table_name;
+  m->sets.reserve(sets.size());
+  for (const auto& s : sets) {
+    m->sets.push_back(SetClause{s.column_idx, s.expr->Clone()});
+  }
+  if (where != nullptr) m->where = where->Clone();
+  m->num_params = num_params;
+  m->param_types = param_types;
+  m->param_known = param_known;
+  return m;
 }
 
 std::unique_ptr<BoundQuery> BoundQuery::Clone() const {

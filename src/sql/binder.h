@@ -63,11 +63,45 @@ struct BoundQuery {
   }
 };
 
+/// A fully resolved UPDATE or DELETE: the target table, SET expressions
+/// with resolved column ordinals (empty for DELETE) and the optional WHERE
+/// predicate, all bound against the single target table. Shares the
+/// BoundQuery parameter-inference machinery so `?`-parameterized DML works
+/// through PreparedStatement.
+struct BoundMutation {
+  Statement::Kind kind = Statement::Kind::kUpdate;
+  Table* table = nullptr;
+  std::string table_name;  // as written (for freshness re-lookup)
+
+  struct SetClause {
+    int column_idx = -1;
+    std::unique_ptr<Expr> expr;
+  };
+  std::vector<SetClause> sets;  // empty for DELETE
+  std::unique_ptr<Expr> where;  // may be null (affects every row)
+
+  int num_params = 0;
+  std::vector<DataType> param_types;
+  std::vector<bool> param_known;
+
+  /// Deep copy (expression trees cloned; the Table pointer shared). Used
+  /// by PreparedStatement to instantiate the template per execution.
+  std::unique_ptr<BoundMutation> Clone() const;
+};
+
 /// Binds a parsed SELECT against the catalog. `stmt` is consumed. String
 /// literals are interned into the catalog's pool so engines can compare
 /// dictionary codes instead of strings.
 Result<BoundQuery> BindSelect(SelectStmt* stmt, Catalog* catalog,
                               const UdfRegistry* udfs);
+
+/// Binds UPDATE / DELETE against the catalog (`stmt` consumed). SET
+/// expressions and WHERE may reference the target table's columns; a bare
+/// `?` in `SET col = ?` takes the column's type.
+Result<BoundMutation> BindUpdate(UpdateStmt* stmt, Catalog* catalog,
+                                 const UdfRegistry* udfs);
+Result<BoundMutation> BindDelete(DeleteStmt* stmt, Catalog* catalog,
+                                 const UdfRegistry* udfs);
 
 /// Recomputes out_type bottom-up and re-applies the binder's operator type
 /// checks over an already-bound expression tree. Column references, UDF

@@ -62,6 +62,8 @@ class Parser {
   Result<Statement> ParseCreate();
   Result<Statement> ParseInsert();
   Result<Statement> ParseDrop();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
 
   // Expression grammar, loosest to tightest binding.
   Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
@@ -87,7 +89,7 @@ bool Parser::IsReserved(const Token& t) const {
       "and",    "or",    "not",   "as",     "join",  "inner", "on",
       "like",   "in",    "between", "is",   "null",  "desc",  "asc",
       "distinct", "having", "values", "insert", "into", "create", "table",
-      "drop",
+      "drop", "update", "set", "delete",
   };
   if (t.type != TokenType::kIdent) return false;
   for (const char* kw : kReserved) {
@@ -101,7 +103,10 @@ Result<Statement> Parser::ParseStatement() {
   if (Peek().Is("create")) return ParseCreate();
   if (Peek().Is("insert")) return ParseInsert();
   if (Peek().Is("drop")) return ParseDrop();
-  return Status::ParseError("statement must start with SELECT/CREATE/INSERT/DROP");
+  if (Peek().Is("update")) return ParseUpdate();
+  if (Peek().Is("delete")) return ParseDelete();
+  return Status::ParseError(
+      "statement must start with SELECT/CREATE/INSERT/DROP/UPDATE/DELETE");
 }
 
 Result<Statement> Parser::ParseSelect() {
@@ -284,6 +289,52 @@ Result<Statement> Parser::ParseDrop() {
   Statement out;
   out.kind = Statement::Kind::kDropTable;
   out.drop = std::move(stmt);
+  return out;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("update"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  SKINNER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("set"));
+  do {
+    SKINNER_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+    SKINNER_RETURN_IF_ERROR(ExpectSymbol("="));
+    SKINNER_ASSIGN_OR_RETURN(auto e, ParseExpr());
+    stmt->sets.emplace_back(std::move(col), std::move(e));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("where")) {
+    SKINNER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  MatchSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError(
+        StrFormat("trailing input at offset %zu: '%s'", Peek().pos,
+                  Peek().text.c_str()));
+  }
+  Statement out;
+  out.kind = Statement::Kind::kUpdate;
+  out.update = std::move(stmt);
+  return out;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  SKINNER_RETURN_IF_ERROR(ExpectKeyword("from"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  SKINNER_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+  if (MatchKeyword("where")) {
+    SKINNER_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  MatchSymbol(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError(
+        StrFormat("trailing input at offset %zu: '%s'", Peek().pos,
+                  Peek().text.c_str()));
+  }
+  Statement out;
+  out.kind = Statement::Kind::kDelete;
+  out.del = std::move(stmt);
   return out;
 }
 

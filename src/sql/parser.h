@@ -15,6 +15,8 @@ namespace skinner {
 ///   CREATE TABLE name (col TYPE, ...)        TYPE in {INT, DOUBLE, STRING}
 ///   INSERT INTO name VALUES (lit, ...)[, (...)]
 ///   DROP TABLE name
+///   UPDATE name SET col = expr [, col = expr ...] [WHERE cond]
+///   DELETE FROM name [WHERE cond]
 /// IN lists, BETWEEN, NOT LIKE and IS [NOT] NULL are desugared during
 /// parsing into the core expression algebra.
 Result<Statement> ParseSql(const std::string& sql);

@@ -44,6 +44,74 @@ Status Column::AppendValue(const Value& v, StringPool* pool) {
   return Status::OK();
 }
 
+Status Column::SetValue(int64_t row, const Value& v, StringPool* pool) {
+  size_t r = static_cast<size_t>(row);
+  if (v.is_null()) {
+    if (nulls_.empty()) nulls_.assign(static_cast<size_t>(size()), 0);
+    if (type_ == DataType::kDouble) {
+      doubles_[r] = 0;
+    } else {
+      ints_[r] = 0;
+    }
+    nulls_[r] = 1;
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (v.type() == DataType::kString) {
+        return Status::TypeError("cannot store string in INT column");
+      }
+      ints_[r] = v.type() == DataType::kDouble
+                     ? static_cast<int64_t>(v.AsDouble())
+                     : v.AsInt();
+      break;
+    case DataType::kDouble:
+      if (v.type() == DataType::kString) {
+        return Status::TypeError("cannot store string in DOUBLE column");
+      }
+      doubles_[r] = v.AsDouble();
+      break;
+    case DataType::kString:
+      if (v.type() != DataType::kString) {
+        return Status::TypeError("cannot store numeric in STRING column");
+      }
+      ints_[r] = pool->Intern(v.AsString());
+      break;
+  }
+  if (!nulls_.empty()) nulls_[r] = 0;
+  return Status::OK();
+}
+
+void Column::Retain(const uint8_t* valid, int64_t n) {
+  size_t w = 0;
+  bool any_null = false;
+  for (int64_t r = 0; r < n; ++r) {
+    if (!valid[r]) continue;
+    size_t rr = static_cast<size_t>(r);
+    if (type_ == DataType::kDouble) {
+      doubles_[w] = doubles_[rr];
+    } else {
+      ints_[w] = ints_[rr];
+    }
+    if (!nulls_.empty()) {
+      nulls_[w] = nulls_[rr];
+      any_null = any_null || nulls_[w] != 0;
+    }
+    ++w;
+  }
+  if (type_ == DataType::kDouble) {
+    doubles_.resize(w);
+  } else {
+    ints_.resize(w);
+  }
+  if (!nulls_.empty()) {
+    nulls_.resize(w);
+    // Return to the lazy representation when no NULLs survive, so a
+    // compacted table is indistinguishable from one built without NULLs.
+    if (!any_null) nulls_.clear();
+  }
+}
+
 Value Column::GetValue(int64_t row, const StringPool& pool) const {
   if (IsNull(row)) return Value::Null();
   switch (type_) {

@@ -45,6 +45,15 @@ class Column {
   /// Appends `v`, coercing numeric types; returns TypeError on mismatch.
   Status AppendValue(const Value& v, StringPool* pool);
 
+  /// Overwrites the cell at `row` with `v`, applying the same coercion
+  /// rules as AppendValue (UPDATE executor path). Setting NULL lazily
+  /// materializes the validity array; setting a non-NULL clears the flag.
+  Status SetValue(int64_t row, const Value& v, StringPool* pool);
+
+  /// Keeps exactly the rows with valid[r] != 0 (checkpoint compaction).
+  /// `valid` must have `n` == size() entries.
+  void Retain(const uint8_t* valid, int64_t n);
+
   bool IsNull(int64_t row) const {
     return !nulls_.empty() && nulls_[static_cast<size_t>(row)] != 0;
   }
@@ -63,6 +72,19 @@ class Column {
 
   /// Materializes a cell as a Value (strings looked up in `pool`).
   Value GetValue(int64_t row, const StringPool& pool) const;
+
+  // Raw storage access for the snapshot writer/loader (src/txn/snapshot.cc).
+  // The loader restores arrays verbatim: string ids stay valid because the
+  // snapshot dumps the pool in id order and re-interning reproduces them.
+  const std::vector<int64_t>& raw_ints() const { return ints_; }
+  const std::vector<double>& raw_doubles() const { return doubles_; }
+  const std::vector<uint8_t>& raw_nulls() const { return nulls_; }
+  void RestoreRaw(std::vector<int64_t> ints, std::vector<double> doubles,
+                  std::vector<uint8_t> nulls) {
+    ints_ = std::move(ints);
+    doubles_ = std::move(doubles);
+    nulls_ = std::move(nulls);
+  }
 
  private:
   DataType type_;

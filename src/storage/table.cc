@@ -22,9 +22,35 @@ Status Table::AppendRow(const std::vector<Value>& values) {
     SKINNER_RETURN_IF_ERROR(cols_[static_cast<size_t>(i)]->AppendValue(
         values[static_cast<size_t>(i)], pool_));
   }
+  if (!valid_.empty()) valid_.push_back(1);
   ++num_rows_;
   ++data_version_;
   return Status::OK();
+}
+
+void Table::DeleteRow(int64_t row) {
+  if (valid_.empty()) valid_.assign(static_cast<size_t>(num_rows_), 1);
+  uint8_t& slot = valid_[static_cast<size_t>(row)];
+  if (slot == 0) return;
+  slot = 0;
+  ++num_deleted_;
+  ++data_version_;
+}
+
+Status Table::UpdateCell(int64_t row, int col, const Value& v) {
+  SKINNER_RETURN_IF_ERROR(
+      cols_[static_cast<size_t>(col)]->SetValue(row, v, pool_));
+  ++data_version_;
+  return Status::OK();
+}
+
+void Table::Compact() {
+  if (valid_.empty()) return;
+  for (auto& c : cols_) c->Retain(valid_.data(), num_rows_);
+  num_rows_ -= num_deleted_;
+  num_deleted_ = 0;
+  valid_.clear();
+  ++data_version_;
 }
 
 std::vector<Value> Table::GetRow(int64_t row) const {

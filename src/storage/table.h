@@ -34,9 +34,9 @@ class Table {
   uint64_t id() const { return id_; }
   void set_id(uint64_t id) { id_ = id; }
 
-  /// Monotonic data-version counter, bumped once per appended row. Cached
-  /// derived state (filtered positions, hash indexes) keyed on (id,
-  /// data_version) is invalidated by any DML on the table.
+  /// Monotonic data-version counter, bumped once per appended, updated or
+  /// deleted row. Cached derived state (filtered positions, hash indexes)
+  /// keyed on (id, data_version) is invalidated by any DML on the table.
   uint64_t data_version() const { return data_version_; }
 
   /// Appends one row; values.size() must equal the column count.
@@ -45,19 +45,52 @@ class Table {
   /// Fast typed appends for generators (one call per column, then
   /// CommitRow). The caller must append to every column exactly once.
   void CommitRow() {
+    if (!valid_.empty()) valid_.push_back(1);
     ++num_rows_;
     ++data_version_;
   }
 
+  /// Deleted-row tracking: a lazy byte-per-row validity mask, allocated on
+  /// the first DELETE (mirrors Column's lazy nulls_). A table with no mask
+  /// takes exactly the pre-mutation scan path — scans only consult the
+  /// mask when has_deletes() is true. Checkpoint compaction (Compact())
+  /// rewrites the columns and drops the mask.
+  bool has_deletes() const { return !valid_.empty(); }
+  bool IsRowValid(int64_t row) const {
+    return valid_.empty() || valid_[static_cast<size_t>(row)] != 0;
+  }
+  /// Marks `row` deleted (idempotent); bumps data_version on first delete.
+  void DeleteRow(int64_t row);
+  /// Rows minus deleted rows.
+  int64_t num_valid_rows() const { return num_rows_ - num_deleted_; }
+  int64_t num_deleted() const { return num_deleted_; }
+
+  /// Overwrites one cell (UPDATE executor path); bumps data_version.
+  Status UpdateCell(int64_t row, int col, const Value& v);
+
+  /// Physically removes deleted rows and drops the validity mask. Bumps
+  /// data_version when anything moved.
+  void Compact();
+
   /// Materializes one row (for result output / debugging).
   std::vector<Value> GetRow(int64_t row) const;
+
+  // Snapshot-loader access (src/txn/snapshot.cc): restores row count after
+  // columns were filled via RestoreRaw. Snapshots are written post-compaction
+  // so no validity mask is ever restored.
+  void RestoreRowCount(int64_t rows) {
+    num_rows_ = rows;
+    ++data_version_;
+  }
 
  private:
   std::string name_;
   Schema schema_;
   StringPool* pool_;
   std::vector<std::unique_ptr<Column>> cols_;
+  std::vector<uint8_t> valid_;  // lazily allocated; 0 = deleted
   int64_t num_rows_ = 0;
+  int64_t num_deleted_ = 0;
   uint64_t id_ = 0;
   uint64_t data_version_ = 0;
 };

@@ -1,0 +1,33 @@
+#ifndef SKINNER_TXN_SNAPSHOT_H_
+#define SKINNER_TXN_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace skinner {
+
+/// Checkpoint snapshots: a full binary dump of the catalog (string pool,
+/// schemas, raw column arrays) written atomically (tmp + fsync + rename),
+/// so a crash mid-checkpoint leaves the previous snapshot intact.
+///
+/// The string pool is dumped in id order and re-interned in that order on
+/// load, which reproduces every dictionary id exactly — columns can then
+/// restore their raw int arrays (string cells included) verbatim.
+///
+/// Snapshots are written after compaction, so they never carry a validity
+/// mask; the loader restores fully-valid tables.
+
+/// Serializes every table reachable from `catalog` to `path` atomically.
+Status WriteSnapshot(const std::string& path, const Catalog& catalog);
+
+/// Restores `catalog` (which must be empty) from `path`. A missing file is
+/// OK — the database is fresh. Returns the number of tables loaded via
+/// `tables_loaded` when non-null.
+Status LoadSnapshot(const std::string& path, Catalog* catalog,
+                    int* tables_loaded = nullptr);
+
+}  // namespace skinner
+
+#endif  // SKINNER_TXN_SNAPSHOT_H_

@@ -75,6 +75,77 @@ TEST_F(FuzzSqlTest, AdversarialInputs) {
   Probe("SELECT a FROM t, t");  // duplicate alias
 }
 
+TEST_F(FuzzSqlTest, TruncationsOfValidDml) {
+  for (const char* stmt :
+       {"UPDATE t SET b = 'y', c = c + 1.5 WHERE a = 1 AND b = 'x'",
+        "DELETE FROM t WHERE a IN (1, 2) OR c > 0.25"}) {
+    const std::string full(stmt);
+    for (size_t len = 0; len <= full.size(); ++len) {
+      Probe(full.substr(0, len));
+    }
+    EXPECT_TRUE(db_.Execute(full).ok()) << full;
+  }
+}
+
+TEST_F(FuzzSqlTest, RandomDmlMutations) {
+  const std::string base = "UPDATE t SET c = c * 2 WHERE a = 1 AND b = 'x'";
+  Rng rng(43);
+  const char kAlphabet[] = "abcUPDELST*(),.'=<>% \t0123;?";
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)];
+    }
+    Probe(mutated);
+  }
+}
+
+TEST_F(FuzzSqlTest, AdversarialDml) {
+  Probe("UPDATE");
+  Probe("UPDATE t");
+  Probe("UPDATE t SET");
+  Probe("UPDATE t SET a");
+  Probe("UPDATE t SET a = ");
+  Probe("UPDATE t SET nosuch = 1");
+  Probe("UPDATE nowhere SET a = 1");
+  Probe("UPDATE t SET a = 'type mismatch'");
+  Probe("UPDATE t SET a = COUNT(a)");     // aggregates have no row context
+  Probe("UPDATE t SET a = 1 WHERE COUNT(a) > 0");
+  Probe("UPDATE t SET a = 1, a = 2 trailing garbage");
+  Probe("UPDATE t SET a = ? WHERE a = ?");  // params need Session::Prepare
+  Probe("DELETE");
+  Probe("DELETE t");             // missing FROM
+  Probe("DELETE FROM");
+  Probe("DELETE FROM nowhere");
+  Probe("DELETE FROM t WHERE");
+  Probe("DELETE FROM t WHERE b");  // non-boolean is still evaluable (truthy)
+  Probe("DELETE FROM t WHERE a = 1; DELETE FROM t");
+  Probe("DELETE FROM t WHERE " + std::string(200, '('));
+}
+
+TEST_F(FuzzSqlTest, RandomDmlTokenSoup) {
+  static const char* kTokens[] = {
+      "UPDATE", "DELETE", "FROM", "SET",  "WHERE", "AND", "OR",
+      "t",      "u",      "a",    "b",    "c",     "=",   ",",
+      "(",      ")",      "1",    "2.5",  "'s'",   "NULL", "?",
+      "NOT",    "IN",     "+",    "*",
+  };
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    std::string sql = rng.Uniform(2) == 0 ? "UPDATE " : "DELETE ";
+    int len = 1 + static_cast<int>(rng.Uniform(16));
+    for (int j = 0; j < len; ++j) {
+      sql += kTokens[rng.Uniform(std::size(kTokens))];
+      sql += " ";
+    }
+    Probe(sql);
+  }
+  // The table must still be intact and queryable after the soup.
+  EXPECT_TRUE(db_.Query("SELECT COUNT(*) FROM t").ok());
+}
+
 TEST_F(FuzzSqlTest, DeeplyNestedExpressions) {
   // Moderate depth must work; absurd depth must fail cleanly or succeed —
   // never crash.

@@ -205,6 +205,48 @@ TEST(ParallelPreprocessTest, WidthOneCostMatchesSequential) {
   EXPECT_EQ(par4b.preprocess_cost, par4.preprocess_cost);
 }
 
+// Mask-aware morsel filtering (PR 7) must be free for fully-valid tables:
+// a DELETE that matches nothing allocates no validity mask, so the scan
+// takes the exact pre-mutation path and charges the exact pre-mutation
+// cost. After a real DELETE the masked rows are charged their row visit
+// but skip predicate evaluation, so the cost drops — deterministically.
+TEST(ParallelPreprocessTest, MaskAwareFilterCostAnchors) {
+  Database db;
+  BuildFilterHeavyDb(&db, 3, 6000, 256);
+  PreparedProbe before_seq =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/false, 1);
+  PreparedProbe before_par4 =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/true, 4);
+
+  // No-match DELETE: no mask is allocated, nothing may change — not even
+  // by the one-tick-per-row accounting difference a mask would introduce.
+  ASSERT_TRUE(db.Execute("DELETE FROM p0 WHERE v < 0").ok());
+  EXPECT_FALSE(db.catalog()->FindTable("p0")->has_deletes());
+  PreparedProbe nomatch_seq =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/false, 1);
+  PreparedProbe nomatch_par4 =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/true, 4);
+  EXPECT_EQ(nomatch_seq.preprocess_cost, before_seq.preprocess_cost);
+  EXPECT_EQ(nomatch_par4.preprocess_cost, before_par4.preprocess_cost);
+  EXPECT_EQ(nomatch_seq.artifact_fp, before_seq.artifact_fp);
+
+  // Real DELETE: masked rows cost one visit each and skip their predicate,
+  // so pre-processing gets cheaper, never dearer — and stays deterministic.
+  ASSERT_TRUE(db.Execute("DELETE FROM p0 WHERE v < 10").ok());
+  EXPECT_TRUE(db.catalog()->FindTable("p0")->has_deletes());
+  PreparedProbe after_seq =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/false, 1);
+  PreparedProbe after_seq2 =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/false, 1);
+  EXPECT_LT(after_seq.preprocess_cost, before_seq.preprocess_cost);
+  EXPECT_EQ(after_seq2.preprocess_cost, after_seq.preprocess_cost);
+  EXPECT_NE(after_seq.artifact_fp[0], before_seq.artifact_fp[0]);
+  // The width-1 anchor still holds on a masked table.
+  PreparedProbe after_par1 =
+      ProbePrepare(&db, kChainQuery, /*parallel=*/true, 1);
+  EXPECT_EQ(after_par1.preprocess_cost, after_seq.preprocess_cost);
+}
+
 // Randomized end-to-end property: parallel pre-processing never changes a
 // query's result, across schemas, predicates and join shapes.
 TEST(ParallelPreprocessTest, RandomizedResultsMatchSequential) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/str_util.h"
 #include "test_util.h"
 
 namespace skinner {
@@ -196,6 +197,138 @@ TEST_P(MediumPropertyTest, SkinnerVariantsMatchVolcano) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MediumPropertyTest,
                          ::testing::Values(11, 12, 13, 14));
+
+// DELETE equivalence (PR 7): querying a table after DELETE must be
+// bit-identical to querying the pre-delete table with the delete predicate
+// negated — on every engine and thread count, since validity masks are
+// applied in shared pre-processing, not per engine. Delete predicates
+// range over the never-NULL `pk` column only: rows survive a DELETE when
+// the predicate is FALSE *or NULL*, so the `AND NOT(pred)` rewrite is only
+// equivalent when the predicate cannot evaluate to NULL.
+class DeletePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeletePropertyTest, DeleteThenSelectMatchesFilteredSelect) {
+  const uint64_t seed = GetParam();
+  RandomDbSpec spec;
+  spec.seed = seed;
+  spec.num_tables = 4;
+  spec.min_rows = 8;
+  spec.max_rows = 16;
+  Database deleted_db;   // receives the DELETEs
+  Database pristine_db;  // identical data, left untouched
+  std::vector<std::string> tables;
+  std::vector<std::string> tables_ref;
+  ASSERT_TRUE(BuildRandomDb(&deleted_db, spec, &tables).ok());
+  ASSERT_TRUE(BuildRandomDb(&pristine_db, spec, &tables_ref).ok());
+
+  // One pk-range delete per table (pk is 0..rows-1 and never NULL).
+  Rng rng(seed * 271 + 3);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (const std::string& name : tables) {
+    int64_t lo = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(spec.max_rows)));
+    int64_t hi = lo + 1 + static_cast<int64_t>(rng.Uniform(6));
+    ranges.emplace_back(lo, hi);
+    std::string del =
+        StrFormat("DELETE FROM %s WHERE pk >= %lld AND pk < %lld",
+                  name.c_str(), static_cast<long long>(lo),
+                  static_cast<long long>(hi));
+    ASSERT_TRUE(deleted_db.Execute(del).ok()) << del;
+  }
+
+  // Rewrites a RandomCountQuery for the pristine database: for every
+  // `rK tI` item in the FROM clause, conjoin the negated delete range of
+  // rK under alias tI.
+  auto filtered = [&](const std::string& sql) {
+    size_t from = sql.find(" FROM ");
+    size_t where = sql.find(" WHERE ");
+    EXPECT_NE(from, std::string::npos) << sql;
+    EXPECT_NE(where, std::string::npos) << sql;
+    std::string out = sql;
+    std::string list = sql.substr(from + 6, where - from - 6);
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(", ", pos);
+      std::string item = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      size_t space = item.find(' ');
+      EXPECT_NE(space, std::string::npos) << item;
+      int table_idx = std::stoi(item.substr(1, space - 1));  // "rK" -> K
+      std::string alias = item.substr(space + 1);
+      out += StrFormat(" AND NOT (%s.pk >= %lld AND %s.pk < %lld)",
+                       alias.c_str(),
+                       static_cast<long long>(ranges[table_idx].first),
+                       alias.c_str(),
+                       static_cast<long long>(ranges[table_idx].second));
+      if (comma == std::string::npos) break;
+      pos = comma + 2;
+    }
+    return out;
+  };
+
+  std::vector<EngineConfig> configs = AllEngineConfigs();
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    o.skinner_threads = 4;
+    configs.push_back({"SkinnerC_t4", o});
+  }
+  {
+    ExecOptions o;
+    o.engine = EngineKind::kSkinnerC;
+    o.parallel_preprocess = true;
+    o.num_threads = 3;
+    configs.push_back({"SkinnerC_parpre", o});
+  }
+
+  Rng qrng(seed * 613 + 29);
+  for (int q = 0; q < 3; ++q) {
+    std::string sql = RandomCountQuery(&qrng, tables);
+    std::string ref_sql = filtered(sql);
+    auto bound = pristine_db.Bind(ref_sql);
+    ASSERT_TRUE(bound.ok()) << ref_sql << "\n" << bound.status().ToString();
+    int64_t ground = BruteForceCount(&pristine_db, *bound.value());
+    for (const EngineConfig& config : configs) {
+      ExecOptions opts = config.opts;
+      opts.seed = seed + static_cast<uint64_t>(q);
+      EXPECT_EQ(RunCount(&deleted_db, sql, opts), ground)
+          << "engine=" << config.label << " seed=" << seed << "\n  " << sql;
+      EXPECT_EQ(RunCount(&pristine_db, ref_sql, opts), ground)
+          << "engine=" << config.label << " seed=" << seed << "\n  "
+          << ref_sql;
+    }
+  }
+
+  // Full-row bit-identity per table, not just counts: DELETE-then-SELECT
+  // must render exactly as the negated-predicate SELECT on pristine data.
+  for (size_t i = 0; i < tables.size(); ++i) {
+    std::string base = StrFormat(
+        "SELECT t0.pk, t0.fk, t0.val, t0.s, t0.d FROM %s t0 WHERE "
+        "t0.pk >= 0",
+        tables[i].c_str());
+    std::string ref = base + StrFormat(
+                                 " AND NOT (t0.pk >= %lld AND t0.pk < %lld)",
+                                 static_cast<long long>(ranges[i].first),
+                                 static_cast<long long>(ranges[i].second));
+    for (const char* label : {"SkinnerC", "Volcano", "SkinnerC_t4"}) {
+      ExecOptions opts;
+      opts.engine = std::string(label) == "Volcano" ? EngineKind::kVolcano
+                                                    : EngineKind::kSkinnerC;
+      if (std::string(label) == "SkinnerC_t4") opts.skinner_threads = 4;
+      opts.seed = seed;
+      auto got = deleted_db.Query(base, opts);
+      auto want = pristine_db.Query(ref, opts);
+      ASSERT_TRUE(got.ok()) << base << "\n" << got.status().ToString();
+      ASSERT_TRUE(want.ok()) << ref << "\n" << want.status().ToString();
+      EXPECT_EQ(::skinner::testing::CanonicalRows(got.value().result),
+                ::skinner::testing::CanonicalRows(want.value().result))
+          << "engine=" << label << " table=" << tables[i] << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeletePropertyTest,
+                         ::testing::Values(41, 42, 43, 44));
 
 }  // namespace
 }  // namespace skinner

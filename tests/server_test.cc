@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -94,6 +97,90 @@ TEST(ServerProtocolTest, DdlThenQuery) {
   std::vector<std::string> lines = Lines(r.text);
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "ROW 2");
+}
+
+// DML over the wire, the CHECKPOINT verb, and the WAL counters that PR 7
+// surfaces through ServerStats and STATS.
+TEST(ServerProtocolTest, MutationCheckpointAndWalStats) {
+  const std::string dir = ::testing::TempDir() + "server_wal_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  auto cleanup = [&] {
+    std::remove((dir + "/wal.log").c_str());
+    std::remove((dir + "/checkpoint.skdb").c_str());
+    ::rmdir(dir.c_str());
+  };
+  cleanup();
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = opened.MoveValue();
+  ServerCore core(db.get());
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  EXPECT_EQ(conn.value()->HandleLine("X CREATE TABLE w (a INT, b STRING)").text,
+            "OK\n");
+  EXPECT_EQ(conn.value()
+                ->HandleLine("X INSERT INTO w VALUES (1, 'x'), (2, 'y'), "
+                             "(3, 'x')")
+                .text,
+            "OK\n");
+  EXPECT_EQ(conn.value()->HandleLine("X UPDATE w SET b = 'z' WHERE a = 1").text,
+            "OK\n");
+  EXPECT_EQ(conn.value()->HandleLine("X DELETE FROM w WHERE a = 3").text,
+            "OK\n");
+  ServerResponse r = conn.value()->HandleLine("Q SELECT COUNT(*) FROM w");
+  ASSERT_EQ(Lines(r.text).size(), 2u);
+  EXPECT_EQ(Lines(r.text)[0], "ROW 2");
+
+  ServerStats stats = core.stats();
+  EXPECT_EQ(stats.wal_appends, 4u);  // CREATE + INSERT + UPDATE + DELETE
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_EQ(stats.recovery_replayed_records, 0u);
+  EXPECT_EQ(stats.checkpoints, 0u);
+
+  EXPECT_EQ(conn.value()->HandleLine("CHECKPOINT").text, "OK checkpoints=1\n");
+  stats = core.stats();
+  EXPECT_EQ(stats.checkpoints, 1u);
+
+  // The same four counters must appear as STAT lines, with matching values.
+  r = conn.value()->HandleLine("STATS");
+  bool saw_appends = false;
+  bool saw_bytes = false;
+  bool saw_replayed = false;
+  bool saw_checkpoints = false;
+  for (const std::string& line : Lines(r.text)) {
+    if (line == "STAT wal_appends=" + std::to_string(stats.wal_appends)) {
+      saw_appends = true;
+    }
+    if (line == "STAT wal_bytes=" + std::to_string(stats.wal_bytes)) {
+      saw_bytes = true;
+    }
+    if (line == "STAT recovery_replayed_records=0") saw_replayed = true;
+    if (line == "STAT checkpoints=1") saw_checkpoints = true;
+  }
+  EXPECT_TRUE(saw_appends);
+  EXPECT_TRUE(saw_bytes);
+  EXPECT_TRUE(saw_replayed);
+  EXPECT_TRUE(saw_checkpoints);
+  cleanup();
+}
+
+// An in-memory server still accepts DML and CHECKPOINT; the WAL counters
+// just stay zero (checkpoint only compacts).
+TEST(ServerProtocolTest, InMemoryWalStatsAreZero) {
+  Database db;
+  SetupTinyDb(&db);
+  ServerCore core(&db);
+  auto conn = core.Connect();
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(conn.value()->HandleLine("X DELETE FROM t WHERE a = 2").text,
+            "OK\n");
+  ServerResponse r = conn.value()->HandleLine("CHECKPOINT");
+  EXPECT_EQ(r.text, "OK checkpoints=1\n");
+  ServerStats stats = core.stats();
+  EXPECT_EQ(stats.wal_appends, 0u);
+  EXPECT_EQ(stats.wal_bytes, 0u);
+  EXPECT_EQ(stats.checkpoints, 1u);
 }
 
 TEST(ServerProtocolTest, PrepareAndExecute) {

@@ -1,0 +1,307 @@
+#include "txn/wal.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace skinner {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "skinner_wal_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  WalRecord MakeInsert(const std::string& table, int64_t base) {
+    WalRecord rec;
+    rec.type = WalRecordType::kInsertRows;
+    rec.table = table;
+    rec.rows.push_back({Value::Int(base), Value::String("row" +
+                                                        std::to_string(base))});
+    rec.rows.push_back({Value::Int(base + 1), Value::Null()});
+    return rec;
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, MissingFileIsEmptyReplay) {
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().records.empty());
+  EXPECT_EQ(replay.value().valid_bytes, 0u);
+  EXPECT_FALSE(replay.value().tail_truncated);
+}
+
+TEST_F(WalTest, AppendReplayRoundTripAllTypes) {
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+    ASSERT_TRUE(writer.ok());
+    WalWriter* w = writer.value().get();
+
+    WalRecord create;
+    create.type = WalRecordType::kCreateTable;
+    create.table = "t";
+    create.columns = {{"id", DataType::kInt64},
+                      {"name", DataType::kString},
+                      {"score", DataType::kDouble}};
+    ASSERT_TRUE(w->Append(&create).ok());
+    EXPECT_EQ(create.lsn, 1u);
+
+    WalRecord insert = MakeInsert("t", 10);
+    insert.rows[0].push_back(Value::Double(2.5));
+    insert.rows[1].push_back(Value::Double(-0.0));
+    ASSERT_TRUE(w->Append(&insert).ok());
+    EXPECT_EQ(insert.lsn, 2u);
+
+    WalRecord update;
+    update.type = WalRecordType::kUpdateCells;
+    update.table = "t";
+    update.cells.push_back({0, 1, Value::String("renamed")});
+    update.cells.push_back({1, 2, Value::Null()});
+    ASSERT_TRUE(w->Append(&update).ok());
+
+    WalRecord del;
+    del.type = WalRecordType::kDeleteRows;
+    del.table = "t";
+    del.deleted_rows = {0, 7, 42};
+    ASSERT_TRUE(w->Append(&del).ok());
+
+    WalRecord drop;
+    drop.type = WalRecordType::kDropTable;
+    drop.table = "t";
+    ASSERT_TRUE(w->Append(&drop).ok());
+
+    EXPECT_EQ(w->appends(), 5u);
+    EXPECT_GT(w->bytes(), 0u);
+  }
+
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  const std::vector<WalRecord>& recs = replay.value().records;
+  ASSERT_EQ(recs.size(), 5u);
+  EXPECT_FALSE(replay.value().tail_truncated);
+
+  EXPECT_EQ(recs[0].type, WalRecordType::kCreateTable);
+  EXPECT_EQ(recs[0].table, "t");
+  ASSERT_EQ(recs[0].columns.size(), 3u);
+  EXPECT_EQ(recs[0].columns[1].name, "name");
+  EXPECT_EQ(recs[0].columns[1].type, DataType::kString);
+
+  EXPECT_EQ(recs[1].type, WalRecordType::kInsertRows);
+  ASSERT_EQ(recs[1].rows.size(), 2u);
+  EXPECT_EQ(recs[1].rows[0][0].AsInt(), 10);
+  EXPECT_EQ(recs[1].rows[0][1].AsString(), "row10");
+  EXPECT_DOUBLE_EQ(recs[1].rows[0][2].AsDouble(), 2.5);
+  EXPECT_TRUE(recs[1].rows[1][1].is_null());
+
+  EXPECT_EQ(recs[2].type, WalRecordType::kUpdateCells);
+  ASSERT_EQ(recs[2].cells.size(), 2u);
+  EXPECT_EQ(recs[2].cells[0].row, 0);
+  EXPECT_EQ(recs[2].cells[0].col, 1);
+  EXPECT_EQ(recs[2].cells[0].value.AsString(), "renamed");
+  EXPECT_TRUE(recs[2].cells[1].value.is_null());
+
+  EXPECT_EQ(recs[3].type, WalRecordType::kDeleteRows);
+  EXPECT_EQ(recs[3].deleted_rows, (std::vector<int64_t>{0, 7, 42}));
+
+  EXPECT_EQ(recs[4].type, WalRecordType::kDropTable);
+
+  // LSNs are the append order.
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].lsn, i + 1);
+  }
+}
+
+TEST_F(WalTest, ReplayIsRepeatable) {
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+    ASSERT_TRUE(writer.ok());
+    WalRecord rec = MakeInsert("t", 1);
+    ASSERT_TRUE(writer.value()->Append(&rec).ok());
+  }
+  auto first = ReplayWal(path_);
+  auto second = ReplayWal(path_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().records.size(), second.value().records.size());
+  EXPECT_EQ(first.value().valid_bytes, second.value().valid_bytes);
+}
+
+TEST_F(WalTest, TornTailIsTruncated) {
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      WalRecord rec = MakeInsert("t", i * 10);
+      ASSERT_TRUE(writer.value()->Append(&rec).ok());
+    }
+  }
+  const std::string intact = ReadFile(path_);
+  ASSERT_FALSE(intact.empty());
+
+  // A crash mid-append leaves a prefix of the last frame.
+  WriteFile(path_, intact.substr(0, intact.size() - 5));
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().records.size(), 2u);
+  EXPECT_TRUE(replay.value().tail_truncated);
+
+  // The truncation is physical: the next replay sees a clean file.
+  EXPECT_EQ(ReadFile(path_).size(), replay.value().valid_bytes);
+  auto again = ReplayWal(path_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().records.size(), 2u);
+  EXPECT_FALSE(again.value().tail_truncated);
+}
+
+TEST_F(WalTest, CorruptPayloadByteStopsReplayAtFrame) {
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      WalRecord rec = MakeInsert("t", i * 10);
+      ASSERT_TRUE(writer.value()->Append(&rec).ok());
+    }
+  }
+  std::string data = ReadFile(path_);
+  // Walk the first two frame headers to find where the third begins, then
+  // flip one payload byte inside it.
+  size_t third = 0;
+  for (int f = 0; f < 2; ++f) {
+    uint32_t len = 0;
+    wal_codec::Reader r{data.data() + third + 8, data.data() + third + 12};
+    ASSERT_TRUE(r.ReadU32(&len));
+    third += 12 + len;
+  }
+  data[third + 20] = static_cast<char>(data[third + 20] ^ 0x5a);
+  WriteFile(path_, data);
+
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().records.size(), 2u);
+  EXPECT_TRUE(replay.value().tail_truncated);
+  EXPECT_EQ(replay.value().valid_bytes, third);
+}
+
+TEST_F(WalTest, GarbageFileYieldsNoRecords) {
+  WriteFile(path_, "this is not a wal file at all, not even close");
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().records.empty());
+  EXPECT_EQ(replay.value().valid_bytes, 0u);
+  EXPECT_TRUE(replay.value().tail_truncated);
+}
+
+TEST_F(WalTest, AppendContinuesAfterTruncatedTail) {
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+    ASSERT_TRUE(writer.ok());
+    WalRecord rec = MakeInsert("t", 0);
+    ASSERT_TRUE(writer.value()->Append(&rec).ok());
+  }
+  std::string data = ReadFile(path_);
+  WriteFile(path_, data + "torn");
+
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  const uint64_t next_lsn = replay.value().records.back().lsn + 1;
+
+  {
+    auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, next_lsn);
+    ASSERT_TRUE(writer.ok());
+    WalRecord rec = MakeInsert("t", 100);
+    ASSERT_TRUE(writer.value()->Append(&rec).ok());
+    EXPECT_EQ(rec.lsn, 2u);
+  }
+  auto full = ReplayWal(path_);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.value().records.size(), 2u);
+  EXPECT_EQ(full.value().records[1].rows[0][0].AsInt(), 100);
+}
+
+TEST_F(WalTest, ResetEmptiesTheLog) {
+  auto writer = WalWriter::Open(path_, FsyncPolicy::kNever, 1);
+  ASSERT_TRUE(writer.ok());
+  WalRecord rec = MakeInsert("t", 0);
+  ASSERT_TRUE(writer.value()->Append(&rec).ok());
+  ASSERT_TRUE(writer.value()->Reset().ok());
+  EXPECT_EQ(ReadFile(path_).size(), 0u);
+
+  // Appends keep working after the reset.
+  WalRecord rec2 = MakeInsert("t", 5);
+  ASSERT_TRUE(writer.value()->Append(&rec2).ok());
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  EXPECT_EQ(replay.value().records[0].rows[0][0].AsInt(), 5);
+}
+
+TEST_F(WalTest, FsyncAlwaysPolicyAppends) {
+  auto writer = WalWriter::Open(path_, FsyncPolicy::kAlways, 1);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer.value()->policy(), FsyncPolicy::kAlways);
+  WalRecord rec = MakeInsert("t", 0);
+  ASSERT_TRUE(writer.value()->Append(&rec).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  auto replay = ReplayWal(path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().records.size(), 1u);
+}
+
+TEST(WalCodecTest, PayloadRejectsBadType) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDeleteRows;
+  rec.table = "t";
+  rec.deleted_rows = {1};
+  std::string payload = wal_codec::EncodePayload(rec);
+  payload[0] = 99;  // not a WalRecordType
+  WalRecord out;
+  EXPECT_FALSE(wal_codec::DecodePayload(payload.data(), payload.size(), &out));
+}
+
+TEST(WalCodecTest, ValueRoundTrip) {
+  std::string buf;
+  wal_codec::PutValue(&buf, Value::Null());
+  wal_codec::PutValue(&buf, Value::Int(-123456789));
+  wal_codec::PutValue(&buf, Value::Double(3.25e-7));
+  wal_codec::PutValue(&buf, Value::String("hello \t wal"));
+  wal_codec::Reader r{buf.data(), buf.data() + buf.size()};
+  Value v;
+  ASSERT_TRUE(r.ReadValue(&v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(r.ReadValue(&v));
+  EXPECT_EQ(v.AsInt(), -123456789);
+  ASSERT_TRUE(r.ReadValue(&v));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.25e-7);
+  ASSERT_TRUE(r.ReadValue(&v));
+  EXPECT_EQ(v.AsString(), "hello \t wal");
+  ASSERT_FALSE(r.ReadValue(&v));  // exhausted
+}
+
+TEST(WalCodecTest, CrcMatchesKnownVector) {
+  // CRC-32 (IEEE 802.3) of "123456789" is the classic check value.
+  EXPECT_EQ(wal_codec::Crc32("123456789", 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace skinner
