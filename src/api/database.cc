@@ -254,16 +254,28 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
   auto db = std::unique_ptr<Database>(new Database(scheduler_opts));
   db->storage_dir_ = dir;
+  uint64_t snapshot_lsn = 0;
   SKINNER_RETURN_IF_ERROR(
-      LoadSnapshot(dir + "/checkpoint.skdb", &db->catalog_));
+      LoadSnapshot(dir + "/checkpoint.skdb", &db->catalog_, &snapshot_lsn));
   SKINNER_ASSIGN_OR_RETURN(WalReplay replay, ReplayWal(dir + "/wal.log"));
+  // LSN fence: a crash between the snapshot rename and the WAL reset
+  // leaves the compacted snapshot plus the whole pre-checkpoint log.
+  // Records at or below the snapshot's fence are already inside it —
+  // re-applying them would double-insert, and their row ids address the
+  // pre-compaction numbering, so they must be skipped, not replayed.
+  uint64_t applied = 0;
   for (const WalRecord& rec : replay.records) {
+    if (rec.lsn <= snapshot_lsn) continue;
     SKINNER_RETURN_IF_ERROR(db->ApplyWalRecord(rec));
+    ++applied;
   }
-  db->recovery_replayed_.store(replay.records.size(),
-                               std::memory_order_relaxed);
-  const uint64_t next_lsn =
-      replay.records.empty() ? 1 : replay.records.back().lsn + 1;
+  db->recovery_replayed_.store(applied, std::memory_order_relaxed);
+  // LSNs continue past both the fence and the log so they never repeat
+  // across checkpoints.
+  uint64_t next_lsn = snapshot_lsn + 1;
+  if (!replay.records.empty() && replay.records.back().lsn >= next_lsn) {
+    next_lsn = replay.records.back().lsn + 1;
+  }
   SKINNER_ASSIGN_OR_RETURN(db->wal_,
                            WalWriter::Open(dir + "/wal.log", fsync, next_lsn));
   return db;
@@ -277,8 +289,11 @@ Status Database::Checkpoint() {
     catalog_.FindTable(name)->Compact();
   }
   if (wal_ != nullptr) {
-    SKINNER_RETURN_IF_ERROR(
-        WriteSnapshot(storage_dir_ + "/checkpoint.skdb", catalog_));
+    // The snapshot commits with the current LSN fence before the log is
+    // reset; a crash between the two replays nothing (every logged record
+    // is <= the fence), so the window is idempotent.
+    SKINNER_RETURN_IF_ERROR(WriteSnapshot(storage_dir_ + "/checkpoint.skdb",
+                                          catalog_, wal_->last_lsn()));
     SKINNER_RETURN_IF_ERROR(wal_->Reset());
   }
   checkpoints_.fetch_add(1, std::memory_order_relaxed);

@@ -6,8 +6,9 @@ namespace skinner {
 
 TableStats ComputeTableStats(const Table& table) {
   TableStats stats;
-  stats.row_count = table.num_rows();
+  stats.row_count = table.num_valid_rows();
   stats.columns.resize(static_cast<size_t>(table.schema().num_columns()));
+  const bool masked = table.has_deletes();
   for (int c = 0; c < table.schema().num_columns(); ++c) {
     const Column& col = table.column(c);
     ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
@@ -15,6 +16,7 @@ TableStats ComputeTableStats(const Table& table) {
     std::unordered_set<uint64_t> distinct;
     bool first = true;
     for (int64_t r = 0; r < table.num_rows(); ++r) {
+      if (masked && !table.IsRowValid(r)) continue;  // deleted rows invisible
       if (col.IsNull(r)) {
         ++cs.null_count;
         continue;
@@ -49,11 +51,12 @@ TableStats ComputeTableStats(const Table& table) {
 const TableStats& StatsManager::Get(const Table* table) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(table);
-  if (it != cache_.end() && it->second.row_count == table->num_rows()) {
+  if (it != cache_.end() &&
+      it->second.data_version == table->data_version()) {
     return it->second.stats;
   }
   Entry entry;
-  entry.row_count = table->num_rows();
+  entry.data_version = table->data_version();
   entry.stats = ComputeTableStats(*table);
   auto [pos, inserted] = cache_.insert_or_assign(table, std::move(entry));
   return pos->second.stats;

@@ -28,22 +28,27 @@ struct TableStats {
   std::vector<ColumnStats> columns;
 };
 
-/// Scans a table and computes statistics.
+/// Scans a table and computes statistics. Delete-masked rows are invisible:
+/// row_count is num_valid_rows() and masked rows contribute to no column
+/// statistic.
 TableStats ComputeTableStats(const Table& table);
 
-/// Cache of per-table statistics, invalidated when the row count changes.
+/// Cache of per-table statistics, keyed on the table's data_version like
+/// every other piece of cached derived state — any DML (append, UPDATE,
+/// DELETE) bumps the version and invalidates on next lookup (a row-count
+/// comparison would miss in-place updates and mask-only deletes).
 /// Thread-safe: concurrent batch-execution items plan with estimators over
 /// one shared manager. The returned reference stays valid while no DML
-/// changes the table's row count (map references survive rehashing; an
-/// entry is only replaced when the count moved, and DML concurrent with
-/// query execution is outside the API contract anyway).
+/// touches the table (map references survive rehashing; an entry is only
+/// replaced when the version moved, and DML concurrent with query
+/// execution is outside the API contract anyway).
 class StatsManager {
  public:
   const TableStats& Get(const Table* table);
 
  private:
   struct Entry {
-    int64_t row_count;
+    uint64_t data_version;
     TableStats stats;
   };
   std::mutex mu_;

@@ -19,7 +19,7 @@ using wal_codec::PutU8;
 using wal_codec::Reader;
 
 constexpr uint32_t kSnapshotMagic = 0x4E53'4B53u;  // "SKSN"
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;  // v2: u64 LSN fence after version
 
 void PutStr(std::string* out, std::string_view s) {
   wal_codec::PutString(out, s);
@@ -46,6 +46,13 @@ void EncodeColumnArray(std::string* out, const Column& col, int64_t rows) {
 }
 
 bool DecodeColumnArray(Reader* r, Column* col, int64_t rows) {
+  // The row count is untrusted input (the whole-file CRC already passed,
+  // but defend anyway): every row costs 8 payload bytes, so a claim larger
+  // than the remaining bytes must fail before the resize below.
+  if (rows < 0 ||
+      static_cast<uint64_t>(rows) > static_cast<uint64_t>(r->end - r->p) / 8) {
+    return false;
+  }
   std::vector<int64_t> ints;
   std::vector<double> doubles;
   std::vector<uint8_t> nulls;
@@ -106,15 +113,20 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
     return Status::IoError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
                                      path.c_str(), std::strerror(err)));
   }
-  return Status::OK();
+  // The rename only becomes crash-durable once the directory entry is on
+  // disk; without this a power loss can roll back to the old snapshot even
+  // though the WAL was already reset against the new one.
+  return FsyncParentDir(path);
 }
 
 }  // namespace
 
-Status WriteSnapshot(const std::string& path, const Catalog& catalog) {
+Status WriteSnapshot(const std::string& path, const Catalog& catalog,
+                     uint64_t last_lsn) {
   std::string out;
   PutU32(&out, kSnapshotMagic);
   PutU32(&out, kSnapshotVersion);
+  PutU64(&out, last_lsn);
 
   // String pool, in id order (reload re-interns to identical ids).
   const StringPool& pool = catalog.string_pool();
@@ -149,7 +161,8 @@ Status WriteSnapshot(const std::string& path, const Catalog& catalog) {
 }
 
 Status LoadSnapshot(const std::string& path, Catalog* catalog,
-                    int* tables_loaded) {
+                    uint64_t* last_lsn, int* tables_loaded) {
+  if (last_lsn != nullptr) *last_lsn = 0;
   if (tables_loaded != nullptr) *tables_loaded = 0;
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -193,6 +206,9 @@ Status LoadSnapshot(const std::string& path, Catalog* catalog,
     return Status::IoError(
         StrFormat("unsupported snapshot version in %s", path.c_str()));
   }
+  uint64_t fence;
+  if (!r.ReadU64(&fence)) return corrupt();
+  if (last_lsn != nullptr) *last_lsn = fence;
 
   uint32_t n_strings;
   if (!r.ReadU32(&n_strings)) return corrupt();

@@ -215,6 +215,19 @@ std::string EncodePayload(const WalRecord& record) {
   return out;
 }
 
+namespace {
+
+// Bounds an untrusted element count against the bytes actually left in the
+// payload (each element encodes to at least `min_bytes`), so a corrupt but
+// CRC-valid frame claiming billions of elements fails decoding cleanly
+// instead of triggering a multi-gigabyte reserve().
+bool CountFits(const Reader& r, uint32_t count, size_t min_bytes) {
+  return static_cast<uint64_t>(count) * min_bytes <=
+         static_cast<uint64_t>(r.end - r.p);
+}
+
+}  // namespace
+
 bool DecodePayload(const char* data, size_t n, WalRecord* out) {
   Reader r{data, data + n};
   uint8_t type;
@@ -230,6 +243,7 @@ bool DecodePayload(const char* data, size_t n, WalRecord* out) {
     case WalRecordType::kCreateTable: {
       uint32_t n_cols;
       if (!r.ReadU32(&n_cols)) return false;
+      if (!CountFits(r, n_cols, 5)) return false;  // name len + type byte
       out->columns.clear();
       out->columns.reserve(n_cols);
       for (uint32_t i = 0; i < n_cols; ++i) {
@@ -248,11 +262,13 @@ bool DecodePayload(const char* data, size_t n, WalRecord* out) {
     case WalRecordType::kInsertRows: {
       uint32_t n_rows;
       if (!r.ReadU32(&n_rows)) return false;
+      if (!CountFits(r, n_rows, 4)) return false;  // per-row value count
       out->rows.clear();
       out->rows.reserve(n_rows);
       for (uint32_t i = 0; i < n_rows; ++i) {
         uint32_t n_vals;
         if (!r.ReadU32(&n_vals)) return false;
+        if (!CountFits(r, n_vals, 1)) return false;  // value tag byte
         std::vector<Value> row(n_vals);
         for (uint32_t j = 0; j < n_vals; ++j) {
           if (!r.ReadValue(&row[j])) return false;
@@ -264,6 +280,7 @@ bool DecodePayload(const char* data, size_t n, WalRecord* out) {
     case WalRecordType::kUpdateCells: {
       uint32_t n_cells;
       if (!r.ReadU32(&n_cells)) return false;
+      if (!CountFits(r, n_cells, 13)) return false;  // row + col + tag
       out->cells.clear();
       out->cells.reserve(n_cells);
       for (uint32_t i = 0; i < n_cells; ++i) {
@@ -281,6 +298,7 @@ bool DecodePayload(const char* data, size_t n, WalRecord* out) {
     case WalRecordType::kDeleteRows: {
       uint32_t n_del;
       if (!r.ReadU32(&n_del)) return false;
+      if (!CountFits(r, n_del, 8)) return false;  // u64 row id
       out->deleted_rows.clear();
       out->deleted_rows.reserve(n_del);
       for (uint32_t i = 0; i < n_del; ++i) {
@@ -343,12 +361,45 @@ Result<WalReplay> ReplayWal(const std::string& path) {
   replay.valid_bytes = off;
   if (off < data.size()) {
     replay.tail_truncated = true;
-    if (::truncate(path.c_str(), static_cast<off_t>(off)) != 0) {
-      return Status::IoError(StrFormat("truncate %s to %zu: %s", path.c_str(),
-                                       off, std::strerror(errno)));
+    // Truncate through an fd and fsync it: the shorter length must be on
+    // disk before a writer appends past it, or a power loss could
+    // resurrect torn bytes in the middle of the log.
+    int wfd = ::open(path.c_str(), O_WRONLY);
+    if (wfd < 0) {
+      return Status::IoError(
+          StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
     }
+    if (::ftruncate(wfd, static_cast<off_t>(off)) != 0 ||
+        ::fsync(wfd) != 0) {
+      int err = errno;
+      ::close(wfd);
+      return Status::IoError(StrFormat("truncate %s to %zu: %s", path.c_str(),
+                                       off, std::strerror(err)));
+    }
+    ::close(wfd);
+    SKINNER_RETURN_IF_ERROR(FsyncParentDir(path));
   }
   return replay;
+}
+
+Status FsyncParentDir(const std::string& file_path) {
+  const size_t slash = file_path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : file_path.substr(0, slash));
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("open dir %s: %s", dir.c_str(), std::strerror(errno)));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("fsync dir %s: %s", dir.c_str(), std::strerror(err)));
+  }
+  ::close(fd);
+  return Status::OK();
 }
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,

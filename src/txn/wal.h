@@ -81,9 +81,15 @@ struct WalReplay {
 
 /// Reads every valid frame of `path`. A missing file yields an empty
 /// replay (fresh database). When the file extends past the last valid
-/// frame the tail is truncated in place so a subsequent writer appends at
+/// frame the tail is truncated in place (and the truncation fsynced, so a
+/// later power loss cannot resurrect it) so a subsequent writer appends at
 /// a clean boundary.
 Result<WalReplay> ReplayWal(const std::string& path);
+
+/// fsyncs the directory containing `file_path`, persisting a rename or
+/// truncate of the directory entry itself — fsync of the file only covers
+/// its data and inode, not the entry that names it.
+Status FsyncParentDir(const std::string& file_path);
 
 /// Append-side handle. Not thread-safe: the database serializes all DML
 /// under its exclusive DDL lock, which is also the WAL append order.
@@ -113,6 +119,10 @@ class WalWriter {
 
   uint64_t appends() const { return appends_; }
   uint64_t bytes() const { return bytes_; }
+  /// Highest LSN assigned so far (0 before the first append). A checkpoint
+  /// snapshot records this value so recovery can fence out any log records
+  /// the snapshot already contains.
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
   FsyncPolicy policy() const { return policy_; }
 
  private:

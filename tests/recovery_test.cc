@@ -165,6 +165,49 @@ TEST_F(RecoveryTest, CheckpointCompactsAndResetsWal) {
   EXPECT_EQ(Count(db.get(), "accounts", "id < 10"), 0);
 }
 
+TEST_F(RecoveryTest, CrashBetweenSnapshotRenameAndWalResetIsIdempotent) {
+  // The checkpoint crash window: the new snapshot is renamed into place,
+  // the crash lands before the WAL reset, so recovery sees the compacted
+  // snapshot plus the entire pre-checkpoint log. The snapshot's LSN fence
+  // must skip every stale record — replaying them would double-apply the
+  // inserts, and the update/delete row ids address the pre-compaction
+  // numbering.
+  {
+    auto db = Open();
+    ASSERT_NE(db, nullptr);
+    SeedAccounts(db.get(), 10);
+    // The DELETE makes checkpoint compaction renumber rows, so a stale
+    // replay would corrupt data, not just duplicate it.
+    ASSERT_TRUE(db->Execute("DELETE FROM accounts WHERE id < 3").ok());
+    ASSERT_TRUE(
+        db->Execute("UPDATE accounts SET balance = 5.0 WHERE id = 7").ok());
+    const std::string stale_wal = ReadFile(dir_ + "/wal.log");
+    ASSERT_FALSE(stale_wal.empty());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    // Simulate the crash: the pre-checkpoint log reappears in full.
+    WriteFile(dir_ + "/wal.log", stale_wal);
+  }
+  auto db = Open();
+  ASSERT_NE(db, nullptr);
+  // Every stale record is at or below the snapshot's fence: none replayed.
+  EXPECT_EQ(db->wal_stats().recovery_replayed_records, 0u);
+  EXPECT_EQ(Count(db.get(), "accounts"), 7);
+  EXPECT_EQ(Count(db.get(), "accounts", "id < 3"), 0);
+  EXPECT_EQ(Count(db.get(), "accounts", "balance = 5.0"), 1);
+
+  // New DML takes LSNs past the fence and replays on the next open even
+  // though the stale frames still precede it in the file.
+  ASSERT_TRUE(
+      db->Execute("INSERT INTO accounts VALUES (100, 'post', 1.0)").ok());
+  db.reset();
+  db = Open();
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->wal_stats().recovery_replayed_records, 1u);
+  EXPECT_EQ(Count(db.get(), "accounts"), 8);
+  EXPECT_EQ(Count(db.get(), "accounts", "id = 100"), 1);
+  EXPECT_EQ(Count(db.get(), "accounts", "balance = 5.0"), 1);
+}
+
 TEST_F(RecoveryTest, DropAndRecreateNeverResurrectsRows) {
   {
     auto db = Open();

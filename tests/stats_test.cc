@@ -60,7 +60,7 @@ TEST_F(StatsTest, ComputeTableStats) {
   EXPECT_FALSE(stats.columns[1].numeric);
 }
 
-TEST_F(StatsTest, StatsManagerCachesUntilRowCountChanges) {
+TEST_F(StatsTest, StatsManagerCachesUntilDataVersionChanges) {
   StatsManager mgr;
   const TableStats& s1 = mgr.Get(table_);
   const TableStats& s2 = mgr.Get(table_);
@@ -69,6 +69,23 @@ TEST_F(StatsTest, StatsManagerCachesUntilRowCountChanges) {
                                  Value::Double(1)}).ok());
   const TableStats& s3 = mgr.Get(table_);
   EXPECT_EQ(s3.row_count, 101);
+}
+
+TEST_F(StatsTest, DmlInvalidatesCachedStatsAndSkipsDeletedRows) {
+  StatsManager mgr;
+  EXPECT_EQ(mgr.Get(table_).row_count, 100);
+  // An in-place UPDATE leaves num_rows unchanged but must invalidate.
+  ASSERT_TRUE(table_->UpdateCell(0, 0, Value::Int(1234)).ok());
+  const TableStats& s2 = mgr.Get(table_);
+  EXPECT_EQ(s2.columns[0].num_distinct, 11);  // 0..9 plus the new 1234
+  EXPECT_DOUBLE_EQ(s2.columns[0].max_val, 1234);
+  // A mask-only DELETE likewise, and the deleted row drops out of every
+  // statistic (1234 lived only in row 0).
+  table_->DeleteRow(0);
+  const TableStats& s3 = mgr.Get(table_);
+  EXPECT_EQ(s3.row_count, 99);
+  EXPECT_EQ(s3.columns[0].num_distinct, 10);
+  EXPECT_DOUBLE_EQ(s3.columns[0].max_val, 9);
 }
 
 TEST_F(StatsTest, EqualitySelectivityUsesNdv) {

@@ -298,6 +298,36 @@ TEST(WalCodecTest, ValueRoundTrip) {
   ASSERT_FALSE(r.ReadValue(&v));  // exhausted
 }
 
+TEST(WalCodecTest, HugeClaimedCountsFailCleanly) {
+  // A corrupt-but-CRC-valid frame can claim ~4 billion elements with an
+  // empty body; decoding must fail before reserving gigabytes for them.
+  const auto craft = [](WalRecordType type) {
+    std::string p;
+    wal_codec::PutU8(&p, static_cast<uint8_t>(type));
+    wal_codec::PutU64(&p, 1);  // lsn
+    wal_codec::PutString(&p, "t");
+    wal_codec::PutU32(&p, 0xFFFFFFFFu);  // element count; nothing follows
+    return p;
+  };
+  for (WalRecordType type :
+       {WalRecordType::kCreateTable, WalRecordType::kInsertRows,
+        WalRecordType::kUpdateCells, WalRecordType::kDeleteRows}) {
+    std::string payload = craft(type);
+    WalRecord out;
+    EXPECT_FALSE(
+        wal_codec::DecodePayload(payload.data(), payload.size(), &out));
+  }
+  // The per-row value count inside kInsertRows is bounded too.
+  std::string p;
+  wal_codec::PutU8(&p, static_cast<uint8_t>(WalRecordType::kInsertRows));
+  wal_codec::PutU64(&p, 1);
+  wal_codec::PutString(&p, "t");
+  wal_codec::PutU32(&p, 1);            // one row...
+  wal_codec::PutU32(&p, 0xFFFFFFFFu);  // ...claiming 4B values
+  WalRecord out;
+  EXPECT_FALSE(wal_codec::DecodePayload(p.data(), p.size(), &out));
+}
+
 TEST(WalCodecTest, CrcMatchesKnownVector) {
   // CRC-32 (IEEE 802.3) of "123456789" is the classic check value.
   EXPECT_EQ(wal_codec::Crc32("123456789", 9), 0xCBF43926u);
